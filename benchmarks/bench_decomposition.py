@@ -1,0 +1,50 @@
+"""E2 — Cheung--Mosca decomposition of Abelian groups (Theorem 1 substrate).
+
+Paper claim: an Abelian black-box group given by generators decomposes into
+cyclic factors of prime-power order in quantum polynomial time.  The sweep
+grows the group order and the number of generators; time should stay
+polynomial in ``log |G|`` and the number of generators.
+"""
+
+import pytest
+
+from benchmarks.conftest import attach_query_report
+from repro.groups.abelian import AbelianTupleGroup
+from repro.hsp.decomposition import decompose_abelian_group
+from repro.quantum.sampling import FourierSampler
+
+CASES = {
+    "order_1e2": [4, 25],
+    "order_1e4": [16, 81, 25],
+    "order_1e7": [2**10, 3**6, 5**4],
+    "order_1e12": [2**16, 3**10, 5**8, 7**4],
+}
+
+
+@pytest.mark.parametrize("label", sorted(CASES))
+def test_decomposition_scaling(benchmark, label, rng):
+    moduli = CASES[label]
+    group = AbelianTupleGroup(moduli)
+    sampler = FourierSampler(backend="analytic", rng=rng)
+
+    def run():
+        return decompose_abelian_group(group, sampler=sampler)
+
+    decomposition = benchmark(run)
+    assert decomposition.group_order == group.order()
+    attach_query_report(benchmark, decomposition.query_report)
+
+
+@pytest.mark.parametrize("generators", [2, 4, 8])
+def test_decomposition_redundant_generators(benchmark, generators, rng):
+    """More (redundant) generators grow the relation lattice, not the group."""
+    group = AbelianTupleGroup([2**8, 3**5])
+    gens = [group.module.random_element(rng) for _ in range(generators)]
+    sampler = FourierSampler(backend="analytic", rng=rng)
+
+    def run():
+        return decompose_abelian_group(group, generators=gens, sampler=sampler)
+
+    decomposition = benchmark(run)
+    assert decomposition.group_order >= 1
+    attach_query_report(benchmark, decomposition.query_report)

@@ -1,0 +1,72 @@
+"""E7 — Theorem 13, cyclic factor group: fully polynomial case.
+
+Paper claim: for groups with an elementary Abelian normal 2-subgroup ``N``
+(given by generators) and *cyclic* factor group, the HSP is solvable in
+quantum polynomial time.  Two instance families:
+
+* the Rötteler--Beth wreath products ``Z_2^k wr Z_2`` (``|G| = 2^{2k+1}``),
+* the Section 6 affine-type matrix groups over GF(2) (``|G/N|`` = order of
+  the invertible block).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import attach_query_report
+from repro.blackbox.instances import HSPInstance
+from repro.core.elementary_abelian_two import solve_hsp_elementary_abelian_two
+from repro.groups.catalog import affine_gf2_instance, wreath_instance
+from repro.quantum.sampling import FourierSampler
+
+
+@pytest.mark.parametrize("k", [1, 2, 3, 4])
+def test_wreath_product_sweep(benchmark, k, rng):
+    group, normal_gens = wreath_instance(k)
+    hidden = [group.uniform_random_element(rng)]
+    instance = HSPInstance.from_subgroup(group, hidden)
+    sampler = FourierSampler(backend="auto", rng=rng)
+
+    def run():
+        return solve_hsp_elementary_abelian_two(
+            group, instance.oracle.fresh_view(), normal_gens, sampler=sampler, cyclic_quotient=True
+        )
+
+    result = benchmark(run)
+    assert instance.verify(result.generators or [group.identity()])
+    benchmark.extra_info["log2_group_order"] = float(np.log2(group.order()))
+    attach_query_report(benchmark, result.query_report)
+
+
+@pytest.mark.parametrize("k", [2, 3, 4, 5])
+def test_affine_gf2_sweep(benchmark, k, rng):
+    group, normal_gens = affine_gf2_instance(k)
+    hidden = [group.random_element(rng)]
+    instance = HSPInstance.from_subgroup(group, hidden)
+    sampler = FourierSampler(backend="auto", rng=rng)
+
+    def run():
+        return solve_hsp_elementary_abelian_two(
+            group, instance.oracle.fresh_view(), normal_gens, sampler=sampler, cyclic_quotient=True
+        )
+
+    result = benchmark(run)
+    assert instance.verify(result.generators or [group.identity()])
+    benchmark.extra_info["translation_rank"] = len(normal_gens)
+    attach_query_report(benchmark, result.query_report)
+
+
+def test_wreath_subgroup_inside_base(benchmark, rng):
+    """The easier sub-case H <= N (pure Simon structure)."""
+    group, normal_gens = wreath_instance(3)
+    hidden = [group.embed_normal(tuple(int(rng.integers(0, 2)) for _ in range(6)))]
+    instance = HSPInstance.from_subgroup(group, hidden)
+    sampler = FourierSampler(backend="auto", rng=rng)
+
+    def run():
+        return solve_hsp_elementary_abelian_two(
+            group, instance.oracle.fresh_view(), normal_gens, sampler=sampler, cyclic_quotient=True
+        )
+
+    result = benchmark(run)
+    assert instance.verify(result.generators or [group.identity()])
+    attach_query_report(benchmark, result.query_report)

@@ -1,0 +1,44 @@
+"""E12 — The Ettinger--Høyer dihedral procedure: few queries, exponential time.
+
+Paper claim (Section 1): Ettinger and Høyer solve the dihedral HSP with only
+``O(log |G|)`` quantum queries, but the classical post-processing takes
+exponential time in ``log |G|`` — which is why the result does not yield an
+efficient algorithm.  The sweep grows ``n``; the recorded
+``quantum_queries`` grow logarithmically while the wall-clock time (dominated
+by the likelihood scan over all ``n`` candidate slopes) grows linearly in
+``n``, i.e. exponentially in the input size ``log n``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hsp.ettinger_hoyer import ettinger_hoyer_dihedral
+
+SIZES = [64, 256, 1024, 4096]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_ettinger_hoyer_scaling(benchmark, n, rng):
+    slope = int(rng.integers(1, n))
+
+    def run():
+        return ettinger_hoyer_dihedral(n, slope, rng)
+
+    result = benchmark(run)
+    assert result.success
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["quantum_queries"] = result.quantum_queries
+    benchmark.extra_info["candidates_scanned"] = result.postprocessing_candidates_scanned
+
+
+def test_query_growth_is_logarithmic(benchmark, rng):
+    """One timed pass that records the query counts across the whole sweep."""
+
+    def run():
+        return [ettinger_hoyer_dihedral(n, 5, rng).quantum_queries for n in SIZES]
+
+    queries = benchmark.pedantic(run, rounds=1, iterations=1)
+    ratios = [b / a for a, b in zip(queries, queries[1:])]
+    # doubling log(n) should far less than double the queries' growth vs n
+    assert all(r <= 2.0 for r in ratios)
+    benchmark.extra_info["queries_per_size"] = dict(zip(map(str, SIZES), queries))

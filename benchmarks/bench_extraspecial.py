@@ -1,0 +1,89 @@
+"""E6 — HSP in extraspecial p-groups (Corollary 12).
+
+Paper claim: polynomial in ``input size + p``.  The sweep grows ``p`` (the
+commutator/center order) and, separately, the rank of the generalised
+Heisenberg group at fixed ``p`` (growing ``log |G|`` with ``p`` fixed).
+"""
+
+import pytest
+
+from benchmarks.conftest import attach_query_report
+from repro.blackbox.instances import HSPInstance
+from repro.core.solver import solve_hsp
+from repro.groups.extraspecial import extraspecial_group
+from repro.quantum.sampling import FourierSampler
+
+
+@pytest.mark.parametrize("p", [3, 5, 7, 11, 13])
+def test_extraspecial_prime_sweep(benchmark, p, rng):
+    group = extraspecial_group(p)
+    # One random generator keeps |H| (and hence the cost of *constructing*
+    # the hiding oracle) small, so the measured time is dominated by the
+    # solver's own |G'| = p dependence.
+    hidden = [group.uniform_random_element(rng)]
+    instance = HSPInstance.from_subgroup(
+        group, hidden, promises={"commutator_elements": group.commutator_subgroup_elements()}
+    )
+    sampler = FourierSampler(backend="auto", rng=rng)
+
+    def run():
+        fresh = HSPInstance(
+            group=instance.group,
+            oracle=instance.oracle.fresh_view(),
+            hidden_generators=instance.hidden_generators,
+            promises=instance.promises,
+        )
+        return solve_hsp(fresh, sampler=sampler)
+
+    solution = benchmark(run)
+    assert instance.verify(solution.generators or [group.identity()])
+    benchmark.extra_info["p"] = p
+    benchmark.extra_info["group_order"] = p**3
+    attach_query_report(benchmark, solution.query_report)
+
+
+def test_extraspecial_two_generator_subgroup(benchmark, rng):
+    """A larger hidden subgroup (two random generators) at p = 5."""
+    group = extraspecial_group(5)
+    hidden = [group.uniform_random_element(rng), group.uniform_random_element(rng)]
+    instance = HSPInstance.from_subgroup(
+        group, hidden, promises={"commutator_elements": group.commutator_subgroup_elements()}
+    )
+    sampler = FourierSampler(backend="auto", rng=rng)
+
+    def run():
+        fresh = HSPInstance(
+            group=instance.group,
+            oracle=instance.oracle.fresh_view(),
+            hidden_generators=instance.hidden_generators,
+            promises=instance.promises,
+        )
+        return solve_hsp(fresh, sampler=sampler)
+
+    solution = benchmark(run)
+    assert instance.verify(solution.generators or [group.identity()])
+    attach_query_report(benchmark, solution.query_report)
+
+
+@pytest.mark.parametrize("rank", [1, 2, 3])
+def test_generalised_heisenberg_rank_sweep(benchmark, rank, rng):
+    """H_3(n) of order 3^{2n+1}: p fixed, log|G| grows with the rank."""
+    group = extraspecial_group(3, n=rank)
+    hidden = [group.uniform_random_element(rng)]
+    instance = HSPInstance.from_subgroup(group, hidden)
+    sampler = FourierSampler(backend="auto", rng=rng)
+
+    def run():
+        from repro.core.small_commutator import solve_hsp_small_commutator
+
+        return solve_hsp_small_commutator(
+            group,
+            instance.oracle.fresh_view(),
+            sampler=sampler,
+            commutator_elements=group.commutator_subgroup_elements(),
+        )
+
+    result = benchmark(run)
+    assert instance.verify(result.generators or [group.identity()])
+    benchmark.extra_info["group_order"] = 3 ** (2 * rank + 1)
+    attach_query_report(benchmark, result.query_report)

@@ -1,0 +1,103 @@
+"""E4 — Hidden normal subgroups of solvable and permutation groups (Theorem 8).
+
+Paper claim: generators of a hidden *normal* subgroup can be found in quantum
+time polynomial in the input size (+ ``nu(G/N)``), in particular for solvable
+groups and permutation groups, with no non-Abelian Fourier transform.  The
+sweeps grow the dihedral/metacyclic/permutation instances; the Abelian-factor
+path should scale with ``log |G|`` and the bounded-factor path with
+``|G/N|``.
+"""
+
+import pytest
+
+from benchmarks.conftest import attach_query_report
+from repro.blackbox.instances import HSPInstance
+from repro.core.hidden_normal import find_hidden_normal_subgroup
+from repro.groups.extraspecial import extraspecial_group
+from repro.groups.perm import alternating_group, symmetric_group
+from repro.groups.products import dihedral_semidirect, metacyclic_group
+from repro.quantum.sampling import FourierSampler
+
+DIHEDRAL_SIZES = [8, 32, 128, 512]
+
+
+@pytest.mark.parametrize("n", DIHEDRAL_SIZES)
+def test_rotation_subgroup_of_dihedral(benchmark, n, rng):
+    """N = <r> in D_n: Abelian factor group Z_2; scaling in log |G|."""
+    group = dihedral_semidirect(n)
+    instance = HSPInstance.from_subgroup(group, [group.embed_normal((1,))])
+    sampler = FourierSampler(backend="auto", rng=rng)
+
+    def run():
+        return find_hidden_normal_subgroup(group, instance.oracle.fresh_view(), sampler=sampler)
+
+    result = benchmark(run)
+    assert instance.verify(result.generators)
+    benchmark.extra_info["group_order"] = 2 * n
+    attach_query_report(benchmark, result.query_report)
+
+
+@pytest.mark.parametrize("p", [3, 5, 7])
+def test_center_of_extraspecial_group(benchmark, p, rng):
+    group = extraspecial_group(p)
+    instance = HSPInstance.from_subgroup(group, group.center_generators())
+    sampler = FourierSampler(backend="auto", rng=rng)
+
+    def run():
+        return find_hidden_normal_subgroup(group, instance.oracle.fresh_view(), sampler=sampler)
+
+    result = benchmark(run)
+    assert instance.verify(result.generators)
+    attach_query_report(benchmark, result.query_report)
+
+
+@pytest.mark.parametrize("p,q", [(7, 3), (31, 5), (127, 7)])
+def test_normal_core_of_metacyclic_group(benchmark, p, q, rng):
+    """N = Z_p hidden in Z_p : Z_q (solvable, Abelian factor group Z_q)."""
+    group = metacyclic_group(p, q)
+    instance = HSPInstance.from_subgroup(group, [group.embed_normal((1,))])
+    sampler = FourierSampler(backend="auto", rng=rng)
+
+    def run():
+        return find_hidden_normal_subgroup(group, instance.oracle.fresh_view(), sampler=sampler)
+
+    result = benchmark(run)
+    assert instance.verify(result.generators)
+    benchmark.extra_info["group_order"] = p * q
+    attach_query_report(benchmark, result.query_report)
+
+
+@pytest.mark.parametrize("n", [4, 5, 6])
+def test_alternating_group_inside_symmetric(benchmark, n, rng):
+    """Permutation groups: N = A_n hidden in S_n."""
+    group = symmetric_group(n)
+    instance = HSPInstance.from_subgroup(group, alternating_group(n).generators())
+    sampler = FourierSampler(backend="auto", rng=rng)
+
+    def run():
+        return find_hidden_normal_subgroup(group, instance.oracle.fresh_view(), sampler=sampler)
+
+    result = benchmark(run)
+    assert instance.verify(result.generators)
+    benchmark.extra_info["group_order"] = group.order()
+    attach_query_report(benchmark, result.query_report)
+
+
+@pytest.mark.parametrize("quotient_order", [6, 10, 14])
+def test_bounded_nonabelian_quotient(benchmark, quotient_order, rng):
+    """The Schreier path: N = <r^d> in D_n with dihedral factor group of order 2d."""
+    d = quotient_order // 2
+    n = d * 11
+    group = dihedral_semidirect(n)
+    instance = HSPInstance.from_subgroup(group, [group.embed_normal((d,))])
+    sampler = FourierSampler(backend="auto", rng=rng)
+
+    def run():
+        return find_hidden_normal_subgroup(
+            group, instance.oracle.fresh_view(), sampler=sampler, quotient_bound=4 * quotient_order
+        )
+
+    result = benchmark(run)
+    assert instance.verify(result.generators)
+    benchmark.extra_info["quotient_order"] = quotient_order
+    attach_query_report(benchmark, result.query_report)

@@ -1,0 +1,87 @@
+"""E11 — The quantum substrate on its own: QFT, period finding, order finding.
+
+Substrate costs underpinning every solver: the mixed-radix QFT of the
+state-vector backend (exponential in register size — hence the statevector /
+analytic split), gate-level Shor period finding on small moduli, order
+finding through the Abelian-HSP sampling machinery, and the Watrous-style
+order computation modulo a normal subgroup.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import attach_query_report
+from repro.blackbox.oracle import QueryCounter
+from repro.groups.abelian import AbelianTupleGroup
+from repro.groups.perm import symmetric_group
+from repro.groups.products import dihedral_semidirect
+from repro.quantum.qft import qft_probabilities_of_coset
+from repro.quantum.sampling import FourierSampler, SubgroupStructureOracle
+from repro.quantum.shor import order_via_period_sampling, quantum_factor, shor_period_gate_level
+from repro.quantum.watrous import order_modulo_subgroup
+
+
+@pytest.mark.parametrize("log_dim", [8, 12, 16])
+def test_qft_coset_distribution(benchmark, log_dim):
+    """Dense mixed-radix QFT cost grows linearly in the register dimension."""
+    dim = 1 << log_dim
+    indicator = np.zeros(dim)
+    indicator[::16] = 1.0
+
+    result = benchmark(qft_probabilities_of_coset, indicator)
+    assert np.isclose(result.sum(), 1.0)
+    benchmark.extra_info["dimension"] = dim
+
+
+@pytest.mark.parametrize("a,n", [(2, 15), (7, 15), (2, 21)])
+def test_gate_level_shor_period(benchmark, a, n, rng):
+    result = benchmark.pedantic(shor_period_gate_level, args=(a, n, rng), rounds=1, iterations=1)
+    assert pow(a, result, n) == 1
+
+
+def test_gate_level_shor_factoring(benchmark, rng):
+    result = benchmark.pedantic(quantum_factor, args=(15, rng), rounds=1, iterations=1)
+    assert result == {3: 1, 5: 1}
+
+
+@pytest.mark.parametrize("order_bits", [8, 16, 24])
+def test_order_finding_via_sampling(benchmark, order_bits, rng):
+    """Order finding phrased as an Abelian HSP over Z_E (E = exponent bound)."""
+    modulus = (1 << order_bits) - 1
+    group = AbelianTupleGroup([modulus])
+    element = (3,)
+    sampler = FourierSampler(backend="analytic", rng=rng)
+    counter = QueryCounter()
+
+    def run():
+        return order_via_period_sampling(group, element, modulus, sampler, counter)
+
+    order = benchmark(run)
+    assert group.is_identity(group.power(element, order))
+    attach_query_report(benchmark, counter.snapshot())
+
+
+@pytest.mark.parametrize("backend", ["analytic", "statevector"])
+def test_sampling_round_cost(benchmark, backend, rng):
+    """Cost of a single Fourier-sampling round under each backend."""
+    oracle = SubgroupStructureOracle([64, 64], [(8, 16)])
+    sampler = FourierSampler(backend=backend, rng=rng)
+
+    benchmark(sampler.sample, oracle, 1)
+    benchmark.extra_info["backend"] = backend
+
+
+@pytest.mark.parametrize("n", [32, 128, 512])
+def test_watrous_order_modulo_subgroup(benchmark, n, rng):
+    """Order of a coset in G/N for growing dihedral groups (Theorem 10 substrate)."""
+    group = dihedral_semidirect(n)
+    normal = [group.embed_normal((1,))]
+    element = group.multiply(group.embed_normal((3,)), group.embed_quotient((1,)))
+    counter = QueryCounter()
+
+    def run():
+        return order_modulo_subgroup(group, element, normal, counter)
+
+    order = benchmark(run)
+    assert order == 2
+    attach_query_report(benchmark, counter.snapshot())

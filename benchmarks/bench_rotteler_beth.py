@@ -1,0 +1,95 @@
+"""E10 — Theorem 13 vs. the Rötteler--Beth special case.
+
+Paper claim: Theorem 13 generalises the Rötteler--Beth wreath-product
+algorithm.  Both solvers are run on identical wreath instances (they must
+return the same subgroup); Theorem 13 is additionally run on an affine
+matrix-group instance the wreath-specific solver does not handle.
+"""
+
+import pytest
+
+from benchmarks.conftest import attach_query_report
+from repro.blackbox.instances import HSPInstance
+from repro.core.elementary_abelian_two import solve_hsp_elementary_abelian_two
+from repro.groups.catalog import affine_gf2_instance, wreath_instance
+from repro.groups.subgroup import subgroup_order
+from repro.hsp.rotteler_beth import rotteler_beth_wreath
+from repro.quantum.sampling import FourierSampler
+
+KS = [1, 2, 3]
+
+
+def _wreath_instance(k, rng):
+    group, normal_gens = wreath_instance(k)
+    hidden = [group.uniform_random_element(rng), group.uniform_random_element(rng)]
+    return group, normal_gens, HSPInstance.from_subgroup(group, hidden)
+
+
+@pytest.mark.parametrize("k", KS)
+def test_theorem13_on_wreath(benchmark, k, rng):
+    group, normal_gens, instance = _wreath_instance(k, rng)
+    sampler = FourierSampler(backend="auto", rng=rng)
+
+    def run():
+        return solve_hsp_elementary_abelian_two(
+            group, instance.oracle.fresh_view(), normal_gens, sampler=sampler, cyclic_quotient=True
+        )
+
+    result = benchmark(run)
+    assert instance.verify(result.generators or [group.identity()])
+    attach_query_report(benchmark, result.query_report)
+
+
+@pytest.mark.parametrize("k", KS)
+def test_rotteler_beth_on_wreath(benchmark, k, rng):
+    group, _, instance = _wreath_instance(k, rng)
+    sampler = FourierSampler(backend="auto", rng=rng)
+
+    def run():
+        fresh = HSPInstance(group=instance.group, oracle=instance.oracle.fresh_view(),
+                            hidden_generators=instance.hidden_generators)
+        return rotteler_beth_wreath(fresh, sampler)
+
+    result = benchmark(run)
+    assert instance.verify(result.generators or [group.identity()])
+    attach_query_report(benchmark, result.query_report)
+
+
+@pytest.mark.parametrize("k", KS)
+def test_both_solvers_agree(benchmark, k, rng):
+    """One timed round that runs both and checks they find the same subgroup."""
+    group, normal_gens, instance = _wreath_instance(k, rng)
+    sampler = FourierSampler(backend="auto", rng=rng)
+
+    def run():
+        ours = solve_hsp_elementary_abelian_two(
+            group, instance.oracle.fresh_view(), normal_gens, sampler=sampler, cyclic_quotient=True
+        )
+        theirs = rotteler_beth_wreath(
+            HSPInstance(group=instance.group, oracle=instance.oracle.fresh_view(),
+                        hidden_generators=instance.hidden_generators),
+            sampler,
+        )
+        return ours, theirs
+
+    ours, theirs = benchmark(run)
+    order_ours = subgroup_order(group, ours.generators or [group.identity()])
+    order_theirs = subgroup_order(group, theirs.generators or [group.identity()])
+    assert order_ours == order_theirs
+
+
+def test_theorem13_beyond_wreath(benchmark, rng):
+    """An affine GF(2) instance: covered by Theorem 13, outside Rötteler--Beth."""
+    group, normal_gens = affine_gf2_instance(4)
+    hidden = [group.random_element(rng)]
+    instance = HSPInstance.from_subgroup(group, hidden)
+    sampler = FourierSampler(backend="auto", rng=rng)
+
+    def run():
+        return solve_hsp_elementary_abelian_two(
+            group, instance.oracle.fresh_view(), normal_gens, sampler=sampler, cyclic_quotient=True
+        )
+
+    result = benchmark(run)
+    assert instance.verify(result.generators or [group.identity()])
+    attach_query_report(benchmark, result.query_report)

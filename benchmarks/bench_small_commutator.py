@@ -1,0 +1,80 @@
+"""E5 — HSP in groups with small commutator subgroup (Theorem 11).
+
+Paper claim: the HSP is solvable in time polynomial in
+``input size + |G'|``.  Two sweeps separate the two parameters:
+
+* fixed ``log |G|`` shape, growing ``|G'|`` (extraspecial groups with
+  increasing ``p``) — cost should grow polynomially in ``|G'| = p``;
+* fixed ``|G'| = 3``, growing ``log |G|`` (direct products
+  ``Z_{2^k} x H_3``) — cost should grow polynomially in ``log |G|``.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import attach_query_report
+from repro.blackbox.instances import HSPInstance
+from repro.core.small_commutator import solve_hsp_small_commutator
+from repro.groups.abelian import cyclic_group
+from repro.groups.extraspecial import extraspecial_group
+from repro.groups.products import DirectProduct, dihedral_semidirect
+from repro.quantum.sampling import FourierSampler
+
+
+@pytest.mark.parametrize("p", [3, 5, 7, 11])
+def test_scaling_in_commutator_order(benchmark, p, rng):
+    """Extraspecial p-groups: |G'| = p grows, log|G| stays ~3 log p."""
+    group = extraspecial_group(p)
+    hidden = [group.uniform_random_element(rng)]
+    instance = HSPInstance.from_subgroup(group, hidden)
+    sampler = FourierSampler(backend="auto", rng=rng)
+    commutator = group.commutator_subgroup_elements()
+
+    def run():
+        return solve_hsp_small_commutator(
+            group, instance.oracle.fresh_view(), sampler=sampler, commutator_elements=commutator
+        )
+
+    result = benchmark(run)
+    assert instance.verify(result.generators or [group.identity()])
+    benchmark.extra_info["commutator_order"] = p
+    attach_query_report(benchmark, result.query_report)
+
+
+@pytest.mark.parametrize("log_extra", [2, 4, 6])
+def test_scaling_in_group_size_at_fixed_commutator(benchmark, log_extra, rng):
+    """Z_{2^k} x H_3: |G'| = 3 fixed while log|G| grows with k."""
+    group = DirectProduct([cyclic_group(2**log_extra), extraspecial_group(3)])
+    heis = group.factors[1]
+    hidden = [((1,), heis.uniform_random_element(rng))]
+    instance = HSPInstance.from_subgroup(group, hidden)
+    sampler = FourierSampler(backend="auto", rng=rng)
+    commutator = [((0,), c) for c in heis.commutator_subgroup_elements()]
+
+    def run():
+        return solve_hsp_small_commutator(
+            group, instance.oracle.fresh_view(), sampler=sampler, commutator_elements=commutator
+        )
+
+    result = benchmark(run)
+    assert instance.verify(result.generators or [group.identity()])
+    benchmark.extra_info["log2_group_order"] = float(np.log2(group.order()))
+    benchmark.extra_info["commutator_order"] = 3
+    attach_query_report(benchmark, result.query_report)
+
+
+@pytest.mark.parametrize("n", [6, 10, 14])
+def test_dihedral_reflection_subgroups(benchmark, n, rng):
+    """D_n with |G'| = n/2: the reflection subgroups are *not* normal."""
+    group = dihedral_semidirect(n)
+    hidden = [group.embed_quotient((1,))]
+    instance = HSPInstance.from_subgroup(group, hidden)
+    sampler = FourierSampler(backend="auto", rng=rng)
+
+    def run():
+        return solve_hsp_small_commutator(group, instance.oracle.fresh_view(), sampler=sampler)
+
+    result = benchmark(run)
+    assert instance.verify(result.generators)
+    benchmark.extra_info["commutator_order"] = result.commutator_order
+    attach_query_report(benchmark, result.query_report)

@@ -1,0 +1,40 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark corresponds to one experiment of EXPERIMENTS.md (E1--E12).
+The pytest-benchmark table is the measured "series": one row per parameter
+point, with wall-clock statistics from the harness and the oracle-query
+counts attached through ``benchmark.extra_info`` so the query-complexity
+claims of the paper can be read off the saved JSON as well.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+    pytest benchmarks/ --benchmark-only --benchmark-json=bench.json
+"""
+
+import numpy as np
+import pytest
+
+from repro.quantum.sampling import FourierSampler
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(20010202)
+
+
+@pytest.fixture
+def sampler(rng):
+    return FourierSampler(backend="auto", rng=rng)
+
+
+@pytest.fixture
+def analytic_sampler(rng):
+    return FourierSampler(backend="analytic", rng=rng)
+
+
+def attach_query_report(benchmark, report: dict) -> None:
+    """Record oracle-query counters alongside the timing statistics."""
+    for key in ("classical_queries", "quantum_queries", "group_multiplications"):
+        if key in report:
+            benchmark.extra_info[key] = report[key]

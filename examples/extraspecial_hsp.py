@@ -1,0 +1,80 @@
+"""Theorem 11 / Corollary 12 in action: the HSP in extraspecial p-groups.
+
+The paper's Theorem 11 solves the hidden subgroup problem in any black-box
+group with a small commutator subgroup ``G'`` in time polynomial in
+``input size + |G'|``; Corollary 12 applies it to extraspecial ``p``-groups,
+where ``|G'| = p``.  This example
+
+* sweeps the prime ``p`` to show how the cost tracks ``|G'| = p``,
+* prints the intermediate objects of the algorithm (``H ∩ G'``, the
+  generators of ``HG'``, the lifted coset generators), and
+* cross-checks the answer against the exhaustive classical baseline on the
+  smallest instance.
+
+Run with:  python examples/extraspecial_hsp.py
+"""
+
+import numpy as np
+
+from repro.blackbox import HSPInstance
+from repro.core.small_commutator import solve_hsp_small_commutator
+from repro.groups import extraspecial_group
+from repro.groups.subgroup import subgroup_order
+from repro.hsp.baseline_classical import classical_exhaustive_hsp
+from repro.quantum.sampling import FourierSampler
+
+
+def run_one(p: int, rng: np.random.Generator, verbose: bool = False) -> None:
+    group = extraspecial_group(p)
+    hidden = [group.uniform_random_element(rng), group.uniform_random_element(rng)]
+    instance = HSPInstance.from_subgroup(group, hidden, name=f"extraspecial p={p}")
+    sampler = FourierSampler(rng=rng)
+
+    result = solve_hsp_small_commutator(
+        group,
+        instance.oracle,
+        sampler=sampler,
+        commutator_elements=group.commutator_subgroup_elements(),
+    )
+    truth_order = subgroup_order(group, hidden)
+    found_order = subgroup_order(group, result.generators or [group.identity()])
+    report = result.query_report
+
+    print(f"p = {p:3d}   |G| = {p**3:5d}   |G'| = {result.commutator_order}   "
+          f"|H| = {truth_order:4d}   |H_found| = {found_order:4d}   "
+          f"correct = {instance.verify(result.generators or [group.identity()])}   "
+          f"f-queries = {report['classical_queries']:6d}   quantum rounds = {report['quantum_queries']:4d}")
+
+    if verbose:
+        print(f"    H ∩ G' generators : {result.intersection_generators}")
+        print(f"    lifted generators : {result.coset_generators}")
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+
+    print("Theorem 11 on extraspecial p-groups (Heisenberg groups of order p^3)")
+    print("-" * 100)
+    for p in [3, 5, 7, 11, 13]:
+        run_one(p, rng, verbose=(p == 3))
+
+    print()
+    print("Cross-check against the exhaustive classical baseline (p = 3):")
+    group = extraspecial_group(3)
+    hidden = [group.uniform_random_element(rng)]
+    quantum_instance = HSPInstance.from_subgroup(group, hidden)
+    classical_instance = HSPInstance.from_subgroup(group, hidden)
+    quantum = solve_hsp_small_commutator(
+        group, quantum_instance.oracle, sampler=FourierSampler(rng=rng),
+        commutator_elements=group.commutator_subgroup_elements(),
+    )
+    classical = classical_exhaustive_hsp(classical_instance)
+    q_order = subgroup_order(group, quantum.generators or [group.identity()])
+    c_order = subgroup_order(group, classical.generators or [group.identity()])
+    print(f"  quantum  : |H| = {q_order}, oracle queries = {quantum.query_report['classical_queries']}")
+    print(f"  classical: |H| = {c_order}, oracle queries = {classical.oracle_queries} (= |G|)")
+    assert q_order == c_order
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Theorem 8 in action: hidden normal subgroups of solvable and permutation groups.
+
+The normal HSP asks for a hidden subgroup that is promised to be normal.
+Theorem 8 finds it without any non-Abelian Fourier transform: compute a
+presentation of ``G/N`` with the quantum Theorem 7 toolkit, substitute the
+generators into the relators, and take the normal closure.
+
+Instances below:
+
+* the alternating group ``A_n`` hidden inside ``S_n`` (permutation groups),
+* rotation subgroups of dihedral groups (solvable, Abelian factor group),
+* the center of an extraspecial group,
+* the normal ``Z_p`` inside the metacyclic group ``Z_p : Z_q``,
+* a *non-Abelian* factor group handled through the bounded-quotient
+  (Schreier generators) path.
+
+Run with:  python examples/hidden_normal_solvable.py
+"""
+
+import numpy as np
+
+from repro.blackbox import HSPInstance
+from repro.core.hidden_normal import find_hidden_normal_subgroup
+from repro.groups import (
+    alternating_group,
+    dihedral_semidirect,
+    extraspecial_group,
+    metacyclic_group,
+    symmetric_group,
+)
+from repro.groups.subgroup import subgroup_order
+from repro.quantum.sampling import FourierSampler
+
+
+def report(name, group, hidden, rng, **kwargs):
+    instance = HSPInstance.from_subgroup(group, hidden)
+    result = find_hidden_normal_subgroup(
+        group, instance.oracle, sampler=FourierSampler(rng=rng), **kwargs
+    )
+    correct = instance.verify(result.generators or [group.identity()])
+    truth = subgroup_order(group, hidden)
+    found = subgroup_order(group, result.generators or [group.identity()])
+    print(f"  {name:34s} |G| = {group.order():6d}  |N| = {truth:6d}  found = {found:6d}  "
+          f"method = {result.method:26s} |G/N| = {result.quotient_order:4d}  correct = {correct}")
+
+
+def main() -> None:
+    rng = np.random.default_rng(8)
+
+    print("Hidden normal subgroups (Theorem 8)")
+    print("-" * 118)
+
+    for n in [4, 5, 6]:
+        report(f"A_{n} inside S_{n}", symmetric_group(n), alternating_group(n).generators(), rng)
+
+    for n in [12, 60, 240]:
+        group = dihedral_semidirect(n)
+        report(f"<r> inside D_{n}", group, [group.embed_normal((1,))], rng)
+
+    group = extraspecial_group(7)
+    report("center of extraspecial 7-group", group, group.center_generators(), rng)
+
+    group = metacyclic_group(31, 5)
+    report("Z_31 inside Z_31 : Z_5", group, [group.embed_normal((1,))], rng)
+
+    # Non-Abelian factor group: N = <r^5> inside D_35, G/N is dihedral of order 10.
+    group = dihedral_semidirect(35)
+    report("<r^5> inside D_35 (G/N = D_5)", group, [group.embed_normal((5,))], rng, quotient_bound=32)
+
+    print()
+    print("Every row was found from oracle access only: the solver saw the hiding")
+    print("function and the group oracle, never the subgroup it was built from.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""The black-box group model of Babai--Szemerédi, in the quantum setting.
+
+The paper works throughout with *black-box groups*: group elements are
+encoded by bit strings of a fixed length, the group operations are performed
+by oracles ``U_G : |g>|h> -> |g>|gh>`` and ``U_G^{-1}``, and a hidden
+subgroup is specified by an oracle ``f`` that is constant on left cosets and
+distinct across cosets.
+
+This package provides the classical counterpart of that interface:
+
+``BlackBoxGroup``
+    wraps any concrete :class:`~repro.groups.base.FiniteGroup` behind the
+    oracle interface and counts every oracle use (multiplications,
+    inversions, identity tests);
+``HidingOracle``
+    wraps a coset-labelling function with its own query counter;
+``instances``
+    builders that construct hiding oracles from explicitly known subgroups
+    (for tests and benchmarks) while keeping the known subgroup out of the
+    solvers' reach.
+"""
+
+from repro.blackbox.oracle import BlackBoxGroup, HidingOracle, QueryCounter
+from repro.blackbox.instances import (
+    HSPInstance,
+    hiding_oracle_from_subgroup,
+    random_abelian_hsp_instance,
+    subgroup_coset_label,
+)
+
+__all__ = [
+    "QueryCounter",
+    "BlackBoxGroup",
+    "HidingOracle",
+    "HSPInstance",
+    "hiding_oracle_from_subgroup",
+    "subgroup_coset_label",
+    "random_abelian_hsp_instance",
+]

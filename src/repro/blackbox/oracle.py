@@ -1,0 +1,175 @@
+"""Oracle wrappers with query accounting.
+
+Complexity statements in the paper are phrased in terms of oracle uses:
+multiplications performed by the group oracle ``U_G`` and evaluations of the
+hiding function ``f``.  Wrapping both behind counting proxies makes the
+benchmark harness report query counts that are independent of how the
+underlying simulation chooses to realise the quantum subroutines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.groups.base import FiniteGroup
+
+__all__ = ["QueryCounter", "BlackBoxGroup", "HidingOracle"]
+
+
+@dataclass
+class QueryCounter:
+    """Mutable counters for oracle usage.
+
+    ``quantum_queries`` counts *superposition* queries (one per Fourier
+    sampling round, regardless of how expensive it is to simulate them
+    classically); ``classical_queries`` counts ordinary evaluations.
+    """
+
+    classical_queries: int = 0
+    quantum_queries: int = 0
+    group_multiplications: int = 0
+    group_inversions: int = 0
+    identity_tests: int = 0
+    extra: Dict[str, int] = field(default_factory=dict)
+
+    def bump(self, key: str, amount: int = 1) -> None:
+        self.extra[key] = self.extra.get(key, 0) + amount
+
+    def snapshot(self) -> Dict[str, int]:
+        data = {
+            "classical_queries": self.classical_queries,
+            "quantum_queries": self.quantum_queries,
+            "group_multiplications": self.group_multiplications,
+            "group_inversions": self.group_inversions,
+            "identity_tests": self.identity_tests,
+        }
+        data.update(self.extra)
+        return data
+
+    def reset(self) -> None:
+        self.classical_queries = 0
+        self.quantum_queries = 0
+        self.group_multiplications = 0
+        self.group_inversions = 0
+        self.identity_tests = 0
+        self.extra.clear()
+
+    def __add__(self, other: "QueryCounter") -> "QueryCounter":
+        merged = QueryCounter(
+            classical_queries=self.classical_queries + other.classical_queries,
+            quantum_queries=self.quantum_queries + other.quantum_queries,
+            group_multiplications=self.group_multiplications + other.group_multiplications,
+            group_inversions=self.group_inversions + other.group_inversions,
+            identity_tests=self.identity_tests + other.identity_tests,
+        )
+        for key in set(self.extra) | set(other.extra):
+            merged.extra[key] = self.extra.get(key, 0) + other.extra.get(key, 0)
+        return merged
+
+
+class BlackBoxGroup(FiniteGroup):
+    """A concrete group seen only through the Babai--Szemerédi oracle interface.
+
+    Every multiplication, inversion and identity test is counted.  The
+    wrapped group's element encoding is exposed through :meth:`encode`, so
+    callers can treat elements as opaque strings exactly as the model
+    prescribes.  The wrapper is itself a :class:`FiniteGroup`, which lets the
+    whole algorithm stack run unchanged over counted or uncounted groups.
+    """
+
+    def __init__(self, group: FiniteGroup, counter: Optional[QueryCounter] = None, name: Optional[str] = None):
+        self.group = group
+        self.counter = counter if counter is not None else QueryCounter()
+        self.name = name or f"BlackBox({group.name})"
+
+    # -- oracle operations -------------------------------------------------------
+    def identity(self):
+        return self.group.identity()
+
+    def multiply(self, a, b):
+        self.counter.group_multiplications += 1
+        return self.group.multiply(a, b)
+
+    def inverse(self, a):
+        self.counter.group_inversions += 1
+        return self.group.inverse(a)
+
+    def equal(self, a, b) -> bool:
+        self.counter.identity_tests += 1
+        return self.group.equal(a, b)
+
+    def generators(self) -> List:
+        return self.group.generators()
+
+    def encode(self, a) -> bytes:
+        return self.group.encode(a)
+
+    def decode(self, code: bytes):
+        return self.group.decode(code)
+
+    def exponent_bound(self) -> Optional[int]:
+        return self.group.exponent_bound()
+
+    def order(self) -> int:
+        # Order queries are structural information; concrete groups may know
+        # their own order cheaply.  The HSP solvers only use this through the
+        # quantum order-finding layer, which does its own accounting.
+        return self.group.order()
+
+    def uniform_random_element(self, rng: np.random.Generator):
+        return self.group.random_element(rng)
+
+    @property
+    def encoding_length(self) -> int:
+        """Length (in bits) of the longest generator encoding — the ``n`` of the model."""
+        gens = self.group.generators() or [self.group.identity()]
+        return max(len(self.group.encode(g)) for g in gens) * 8
+
+
+class HidingOracle:
+    """The hiding function ``f : G -> X`` with query accounting.
+
+    ``label(g)`` must return a hashable label constant on left cosets of the
+    hidden subgroup and distinct across cosets.  The optional
+    ``hidden_subgroup_generators`` are carried for *verification only*:
+    solvers must never read them (tests assert this by construction), but the
+    experiment harness uses them to check solver output and the analytic
+    sampling backend may use them as the declared coset structure of
+    top-level instances.
+    """
+
+    def __init__(
+        self,
+        label: Callable[[Any], Any],
+        counter: Optional[QueryCounter] = None,
+        hidden_subgroup_generators: Optional[Sequence] = None,
+        description: str = "f",
+    ):
+        self._label = label
+        self.counter = counter if counter is not None else QueryCounter()
+        self.hidden_subgroup_generators = list(hidden_subgroup_generators) if hidden_subgroup_generators is not None else None
+        self.description = description
+        self._cache: Dict[Any, Any] = {}
+
+    def __call__(self, element) -> Any:
+        """A classical query to ``f`` (cached; the first evaluation counts)."""
+        if element in self._cache:
+            return self._cache[element]
+        self.counter.classical_queries += 1
+        value = self._label(element)
+        self._cache[element] = value
+        return value
+
+    def quantum_query(self) -> None:
+        """Account for one superposition query (one Fourier-sampling round)."""
+        self.counter.quantum_queries += 1
+
+    def fresh_view(self) -> "HidingOracle":
+        """A new oracle sharing the labelling function but with fresh counters."""
+        return HidingOracle(self._label, QueryCounter(), self.hidden_subgroup_generators, self.description)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"HidingOracle({self.description})"

@@ -1,0 +1,54 @@
+"""The paper's algorithms (Ivanyos--Magniez--Santha 2001).
+
+This package contains the primary contribution of the reproduced paper: the
+quantum implementations of the Beals--Babai black-box group tasks and the
+hidden subgroup solvers built on top of them.
+
+===========================  =============================================
+Module                       Paper result
+===========================  =============================================
+``constructive_membership``  Theorem 6(b): constructive membership in
+                             Abelian subgroups via the Abelian HSP.
+``presentation``             Presentations of Abelian factor groups and the
+                             relator bookkeeping used by Theorem 8.
+``factor_group``             Theorems 7 and 10: working in ``G/N`` when the
+                             normal subgroup is hidden (secondary encoding)
+                             or given by generators (Watrous coset states).
+``hidden_normal``            Theorem 8: finding hidden *normal* subgroups
+                             (solvable groups, permutation groups).
+``small_commutator``         Theorem 11 and Corollary 12: groups with small
+                             commutator subgroup; extraspecial p-groups.
+``elementary_abelian_two``   Theorem 13: groups with an elementary Abelian
+                             normal 2-subgroup of small index or with
+                             cyclic factor group.
+``beals_babai``              Corollary 5: the toolkit facade (orders,
+                             decompositions, Sylow data, presentations).
+``solver``                   Strategy dispatcher ``solve_hsp``.
+===========================  =============================================
+"""
+
+from repro.core.constructive_membership import (
+    abelian_subgroup_membership,
+    constructive_membership,
+)
+from repro.core.presentation import AbelianPresentation
+from repro.core.factor_group import GeneratedQuotient, HiddenQuotient
+from repro.core.hidden_normal import find_hidden_normal_subgroup
+from repro.core.small_commutator import solve_hsp_small_commutator
+from repro.core.elementary_abelian_two import solve_hsp_elementary_abelian_two
+from repro.core.beals_babai import BlackBoxToolkit
+from repro.core.solver import HSPSolution, solve_hsp
+
+__all__ = [
+    "constructive_membership",
+    "abelian_subgroup_membership",
+    "AbelianPresentation",
+    "HiddenQuotient",
+    "GeneratedQuotient",
+    "find_hidden_normal_subgroup",
+    "solve_hsp_small_commutator",
+    "solve_hsp_elementary_abelian_two",
+    "BlackBoxToolkit",
+    "HSPSolution",
+    "solve_hsp",
+]

@@ -1,0 +1,239 @@
+"""Working in factor groups ``G/N`` (Theorems 7 and 10).
+
+The paper distinguishes two situations in which the Beals--Babai machinery
+must run on a factor group rather than on ``G`` itself:
+
+* ``N`` is a *hidden* normal subgroup, available only through the hiding
+  function ``f`` (Theorem 7).  Elements of ``G`` encode their cosets — a
+  non-unique encoding whose identity test is ``f(a) = f(b)`` — and the
+  quantum subroutines (order finding, constructive membership) go through
+  the function ``phi(...) = f(h_1^{a_1} ... g^{-a})``.
+
+* ``N`` is a normal subgroup *given by generators* that is solvable or of
+  polynomial size (Theorem 10).  Watrous' machinery supplies membership
+  tests in ``N`` and coset superpositions ``|gN>``; the classical shadow in
+  this reproduction is a membership tester for ``N`` and the induced coset
+  identity test (see :mod:`repro.quantum.watrous`).
+
+Both wrappers expose the same small interface used by the paper's solvers:
+coset identity tests, orders modulo ``N``, Abelianity detection, and Abelian
+presentations of the factor group.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.blackbox.oracle import HidingOracle, QueryCounter
+from repro.core.presentation import AbelianPresentation
+from repro.groups.base import FiniteGroup
+from repro.hsp.abelian import solve_abelian_hsp
+from repro.hsp.oracles import hidden_power_product_oracle
+from repro.linalg.modular import element_order_from_exponent, factorint, lcm
+from repro.quantum.sampling import FourierSampler, TupleFunctionOracle
+from repro.quantum.watrous import normal_subgroup_membership, order_modulo_subgroup
+
+__all__ = ["HiddenQuotient", "GeneratedQuotient"]
+
+Vector = Tuple[int, ...]
+
+
+class _QuotientBase:
+    """Shared logic of the two factor-group wrappers."""
+
+    group: FiniteGroup
+    counter: QueryCounter
+
+    # -- primitives supplied by the subclasses --------------------------------
+    def in_kernel(self, element) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def coset_equal(self, a, b) -> bool:
+        """Identity test of ``G/N`` (the non-unique encoding of the paper)."""
+        return self.in_kernel(self.group.multiply(self.group.inverse(a), b))
+
+    # -- derived operations -----------------------------------------------------
+    def order_modulo(self, element, exponent: Optional[int] = None) -> int:
+        """Order of ``gN`` in ``G/N``: smallest ``k > 0`` with ``g^k`` in ``N``.
+
+        Computed by dividing primes out of a known multiple of the order (the
+        order of ``g`` in ``G``), each divisibility check being one coset
+        identity test — the classical shadow of computing the period of
+        ``k -> |g^k N>`` (Theorem 10) or of ``k -> f(g^k)`` (Theorem 7).
+        """
+        self.counter.bump("order_oracle_calls")
+        bound = exponent if exponent is not None else self.group.element_order(element)
+        return element_order_from_exponent(
+            lambda k: self.group.power(element, k),
+            self.in_kernel,
+            bound,
+        )
+
+    def is_abelian(self, generators: Optional[Sequence] = None) -> bool:
+        """Whether ``G/N`` is Abelian: all generator commutators lie in ``N``."""
+        gens = list(generators) if generators is not None else self.group.generators()
+        for i, a in enumerate(gens):
+            for b in gens[i + 1 :]:
+                if not self.in_kernel(self.group.commutator(a, b)):
+                    return False
+        return True
+
+    def abelian_presentation(
+        self,
+        sampler: Optional[FourierSampler] = None,
+        generators: Optional[Sequence] = None,
+        max_enumeration: int = 1 << 18,
+    ) -> AbelianPresentation:
+        """A presentation of the Abelian factor group ``G/N`` (Theorem 7).
+
+        Computes the orders of the generators modulo ``N`` and the kernel of
+        the exponent map by one Abelian HSP run; the relators are the kernel
+        generators plus the generator commutators.
+        """
+        sampler = sampler if sampler is not None else FourierSampler()
+        gens = [g for g in (generators if generators is not None else self.group.generators()) if not self.in_kernel(g)]
+        if not gens:
+            return AbelianPresentation(generators=[], orders=[], relation_vectors=[])
+        orders = [self.order_modulo(g) for g in gens]
+        oracle = self._exponent_map_oracle(gens, orders, max_enumeration)
+        kernel = solve_abelian_hsp(oracle, sampler=sampler)
+        return AbelianPresentation(generators=gens, orders=orders, relation_vectors=list(kernel.generators))
+
+    def _exponent_map_oracle(self, gens: Sequence, orders: Sequence[int], max_enumeration: int):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class HiddenQuotient(_QuotientBase):
+    """``G/N`` for a normal subgroup hidden by the function ``f`` (Theorem 7)."""
+
+    def __init__(self, group: FiniteGroup, oracle: HidingOracle, counter: Optional[QueryCounter] = None):
+        self.group = group
+        self.oracle = oracle
+        self.counter = counter if counter is not None else oracle.counter
+        self._identity_label = None
+
+    def identity_label(self):
+        if self._identity_label is None:
+            self._identity_label = self.oracle(self.group.identity())
+        return self._identity_label
+
+    def in_kernel(self, element) -> bool:
+        return self.oracle(element) == self.identity_label()
+
+    def coset_equal(self, a, b) -> bool:
+        # With a hiding function the identity test needs no group operation:
+        # f is constant exactly on the cosets of N.
+        return self.oracle(a) == self.oracle(b)
+
+    def _exponent_map_oracle(self, gens: Sequence, orders: Sequence[int], max_enumeration: int) -> TupleFunctionOracle:
+        return hidden_power_product_oracle(
+            self.group,
+            self.oracle,
+            gens,
+            orders,
+            counter=self.counter,
+            description="exponent map of G/N (hidden N)",
+            max_enumeration=max_enumeration,
+        )
+
+
+class GeneratedQuotient(_QuotientBase):
+    """``G/N`` for a normal subgroup given by generators (Theorem 10).
+
+    ``N`` must be solvable or of polynomial size — in this reproduction that
+    translates to: a membership test for ``N`` must be available through
+    :func:`repro.groups.subgroup.make_membership_tester` (exact for Abelian
+    and permutation subgroups, enumeration for small generic ones), standing
+    in for Watrous' quantum membership test.
+    """
+
+    def __init__(self, group: FiniteGroup, normal_generators: Sequence, counter: Optional[QueryCounter] = None):
+        self.group = group
+        self.normal_generators = list(normal_generators)
+        self.counter = counter if counter is not None else QueryCounter()
+        self._member = normal_subgroup_membership(group, self.normal_generators, self.counter)
+
+    def in_kernel(self, element) -> bool:
+        return self._member(element)
+
+    def _exponent_map_oracle(self, gens: Sequence, orders: Sequence[int], max_enumeration: int) -> TupleFunctionOracle:
+        def label(alpha: Vector):
+            product = self.group.identity()
+            for element, exponent in zip(gens, alpha):
+                product = self.group.multiply(product, self.group.power(element, int(exponent)))
+            # The "value" of the coset state |g^alpha N| is its canonical
+            # label: we use membership-driven reduction against a fixed list
+            # of previously seen representatives, which is exactly the
+            # information content of comparing coset states for equality.
+            return self._coset_label(product)
+
+        return TupleFunctionOracle(
+            orders,
+            label,
+            counter=self.counter,
+            description="exponent map of G/N (generated N)",
+            max_enumeration=max_enumeration,
+        )
+
+    # -- canonical coset labels ---------------------------------------------------
+    def _coset_label(self, element):
+        cache: Dict[bytes, object] = getattr(self, "_label_cache", None)
+        if cache is None:
+            cache = {}
+            self._label_cache = cache
+            self._representatives: List = []
+        for index, representative in enumerate(self._representatives):
+            if self.coset_equal(representative, element):
+                return index
+        self._representatives.append(element)
+        return len(self._representatives) - 1
+
+    # -- Theorem 13 helper: cyclic factor groups ------------------------------------
+    def cyclic_prime_power_representatives(
+        self,
+        generators: Optional[Sequence] = None,
+    ) -> List:
+        """The set ``V`` of the cyclic case of Theorem 13.
+
+        Assuming ``G/N`` is cyclic, returns coset representatives
+        ``{x_p^{p^j}}`` such that for every subgroup ``M <= G/N`` the set
+        contains a generating set of ``M`` (one generator for each of its
+        Sylow subgroups).  ``|V| = O(log |G/N|)``.
+        """
+        gens = [g for g in (generators if generators is not None else self.group.generators()) if not self.in_kernel(g)]
+        if not gens:
+            return []
+        orders = [self.order_modulo(g) for g in gens]
+        quotient_order = 1
+        for o in orders:
+            quotient_order = lcm(quotient_order, o)
+        # Assemble an element whose image generates the cyclic group G/N: for
+        # every maximal prime power p^e | |G/N| pick a generator whose order
+        # is divisible by p^e and keep its p-part.
+        w = self.group.identity()
+        for prime, exponent in sorted(factorint(quotient_order).items()):
+            target = prime**exponent
+            source = next(g for g, o in zip(gens, orders) if o % target == 0)
+            source_order = orders[gens.index(source)]
+            w = self.group.multiply(w, self.group.power(source, source_order // target))
+        representatives: List = []
+        for prime, exponent in sorted(factorint(quotient_order).items()):
+            sylow_generator = self.group.power(w, quotient_order // (prime**exponent))
+            power = sylow_generator
+            for _ in range(exponent):
+                representatives.append(power)
+                power = self.group.power(power, prime)
+        return representatives
+
+    def quotient_order_bound(self, generators: Optional[Sequence] = None) -> int:
+        """The least common multiple of the generator orders modulo ``N``.
+
+        Equals ``|G/N|`` when the factor group is cyclic; in general it is a
+        divisor of the exponent of ``G/N``.
+        """
+        gens = list(generators) if generators is not None else self.group.generators()
+        bound = 1
+        for g in gens:
+            if not self.in_kernel(g):
+                bound = lcm(bound, self.order_modulo(g))
+        return bound

@@ -1,0 +1,152 @@
+"""The top-level HSP solver: strategy selection over the paper's algorithms.
+
+``solve_hsp`` inspects an :class:`~repro.blackbox.instances.HSPInstance` —
+its group and the structural *promises* attached to it — and dispatches to
+the appropriate algorithm:
+
+=====================  ==========================================================
+Strategy               When it is chosen
+=====================  ==========================================================
+``abelian``            the ambient group is Abelian (Theorem 3)
+``elementary_abelian_two``  the instance promises generators of an elementary
+                       Abelian normal 2-subgroup (Theorem 13)
+``small_commutator``   the instance promises (or the solver finds) a small
+                       commutator subgroup (Theorem 11 / Corollary 12)
+``hidden_normal``      the instance promises the hidden subgroup is normal
+                       (Theorem 8)
+``classical``          explicit opt-in exhaustive baseline
+=====================  ==========================================================
+
+Promise keys recognised in ``instance.promises``:
+
+* ``"normal_generators"`` — generators of the elementary Abelian normal
+  2-subgroup ``N`` (Theorem 13); optional ``"cyclic_quotient"`` (bool) and
+  ``"quotient_bound"`` (int).
+* ``"commutator_elements"`` / ``"commutator_bound"`` — the elements of ``G'``
+  or a bound on ``|G'|`` (Theorem 11).
+* ``"hidden_is_normal"`` — the hidden subgroup is normal (Theorem 8);
+  optional ``"quotient_bound"``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.blackbox.instances import HSPInstance
+from repro.blackbox.oracle import BlackBoxGroup
+from repro.core.elementary_abelian_two import solve_hsp_elementary_abelian_two
+from repro.core.hidden_normal import find_hidden_normal_subgroup
+from repro.core.small_commutator import solve_hsp_small_commutator
+from repro.groups.base import FiniteGroup, GroupError
+from repro.hsp.abelian import solve_hsp_in_abelian_group
+from repro.hsp.baseline_classical import classical_exhaustive_hsp
+from repro.quantum.sampling import FourierSampler
+
+__all__ = ["HSPSolution", "solve_hsp"]
+
+
+@dataclass
+class HSPSolution:
+    """The outcome of a top-level HSP solve."""
+
+    generators: List
+    strategy: str
+    elapsed_seconds: float
+    query_report: Dict[str, int] = field(default_factory=dict)
+    details: Optional[object] = None
+
+    def __iter__(self):
+        return iter(self.generators)
+
+
+def _base_group(instance: HSPInstance) -> FiniteGroup:
+    group = instance.group
+    return group.group if isinstance(group, BlackBoxGroup) else group
+
+
+def _choose_strategy(instance: HSPInstance) -> str:
+    promises = instance.promises
+    if "normal_generators" in promises:
+        return "elementary_abelian_two"
+    base = _base_group(instance)
+    if base.is_abelian():
+        return "abelian"
+    if "commutator_elements" in promises or "commutator_bound" in promises:
+        return "small_commutator"
+    if promises.get("hidden_is_normal"):
+        return "hidden_normal"
+    # Default attempt: Theorem 11 with a moderate bound on |G'| — this is the
+    # broadest of the paper's unconditional results for unique encodings.
+    return "small_commutator"
+
+
+def solve_hsp(
+    instance: HSPInstance,
+    strategy: str = "auto",
+    sampler: Optional[FourierSampler] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> HSPSolution:
+    """Solve a hidden subgroup instance with the appropriate paper algorithm.
+
+    ``strategy`` may be ``"auto"`` (promise-driven dispatch), or one of
+    ``"abelian"``, ``"elementary_abelian_two"``, ``"small_commutator"``,
+    ``"hidden_normal"``, ``"classical"``.
+    """
+    sampler = sampler if sampler is not None else FourierSampler(rng=rng)
+    chosen = strategy if strategy != "auto" else _choose_strategy(instance)
+    group = instance.group
+    base = _base_group(instance)
+    oracle = instance.oracle
+    promises = instance.promises
+    start = time.perf_counter()
+
+    if chosen == "abelian":
+        result = solve_hsp_in_abelian_group(base, oracle, sampler=sampler)
+        generators = result.generators
+    elif chosen == "elementary_abelian_two":
+        if "normal_generators" not in promises:
+            raise GroupError("the elementary_abelian_two strategy requires a 'normal_generators' promise")
+        result = solve_hsp_elementary_abelian_two(
+            group,
+            oracle,
+            promises["normal_generators"],
+            sampler=sampler,
+            cyclic_quotient=promises.get("cyclic_quotient"),
+            quotient_bound=promises.get("quotient_bound", 1 << 12),
+        )
+        generators = result.generators
+    elif chosen == "small_commutator":
+        result = solve_hsp_small_commutator(
+            group,
+            oracle,
+            sampler=sampler,
+            commutator_elements=promises.get("commutator_elements"),
+            commutator_bound=promises.get("commutator_bound", 1 << 14),
+        )
+        generators = result.generators
+    elif chosen == "hidden_normal":
+        result = find_hidden_normal_subgroup(
+            group,
+            oracle,
+            sampler=sampler,
+            quotient_bound=promises.get("quotient_bound"),
+        )
+        generators = result.generators
+    elif chosen == "classical":
+        result = classical_exhaustive_hsp(instance)
+        generators = result.generators
+    else:
+        raise GroupError(f"unknown strategy {chosen!r}")
+
+    elapsed = time.perf_counter() - start
+    return HSPSolution(
+        generators=generators,
+        strategy=chosen,
+        elapsed_seconds=elapsed,
+        query_report=instance.query_report(),
+        details=result,
+    )

@@ -1,0 +1,85 @@
+"""Finite group substrate.
+
+Concrete group families, the abstract :class:`~repro.groups.base.FiniteGroup`
+interface they implement, and the classical structural algorithms (subgroup
+closure, normal closure, derived series, transversals) that the paper's
+quantum algorithms are layered on.
+"""
+
+from repro.groups.base import FiniteGroup, GroupError
+from repro.groups.abelian import AbelianTupleGroup, cyclic_group, elementary_abelian_group
+from repro.groups.perm import (
+    PermutationGroup,
+    SchreierSims,
+    alternating_group,
+    cyclic_permutation_group,
+    dihedral_group,
+    symmetric_group,
+)
+from repro.groups.matrix import GFMatrixGroup, affine_type_group, heisenberg_matrix_group
+from repro.groups.extraspecial import HeisenbergGroup, extraspecial_group
+from repro.groups.products import (
+    DirectProduct,
+    SemidirectProduct,
+    dihedral_semidirect,
+    generalized_dihedral,
+    metacyclic_group,
+    wreath_product_z2,
+)
+from repro.groups.quotient import QuotientGroup
+from repro.groups.subgroup import (
+    SubgroupView,
+    commutator_subgroup_generators,
+    generate_subgroup_elements,
+    is_normal_subgroup,
+    left_transversal,
+    make_membership_tester,
+    normal_closure,
+    subgroup_order,
+)
+from repro.groups.series import (
+    composition_factor_orders,
+    derived_series,
+    is_solvable,
+    polycyclic_series,
+    solvable_length,
+)
+
+__all__ = [
+    "FiniteGroup",
+    "GroupError",
+    "AbelianTupleGroup",
+    "cyclic_group",
+    "elementary_abelian_group",
+    "PermutationGroup",
+    "SchreierSims",
+    "symmetric_group",
+    "alternating_group",
+    "cyclic_permutation_group",
+    "dihedral_group",
+    "GFMatrixGroup",
+    "affine_type_group",
+    "heisenberg_matrix_group",
+    "HeisenbergGroup",
+    "extraspecial_group",
+    "DirectProduct",
+    "SemidirectProduct",
+    "wreath_product_z2",
+    "dihedral_semidirect",
+    "metacyclic_group",
+    "generalized_dihedral",
+    "QuotientGroup",
+    "SubgroupView",
+    "generate_subgroup_elements",
+    "subgroup_order",
+    "make_membership_tester",
+    "normal_closure",
+    "commutator_subgroup_generators",
+    "is_normal_subgroup",
+    "left_transversal",
+    "derived_series",
+    "is_solvable",
+    "solvable_length",
+    "polycyclic_series",
+    "composition_factor_orders",
+]

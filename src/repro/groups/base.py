@@ -1,0 +1,246 @@
+"""Abstract finite groups.
+
+Every concrete group in the reproduction (permutation groups, Abelian tuple
+groups, matrix groups over GF(p), semidirect/wreath products, extraspecial
+groups, quotients) implements the small :class:`FiniteGroup` interface below.
+The black-box layer (:mod:`repro.blackbox`) then wraps any such group behind
+the oracle interface of the paper, so the HSP solvers never see anything but
+encoded strings and the multiplication oracle.
+
+Elements are opaque *hashable, immutable* Python objects; the group object
+owns all arithmetic.  Generic algorithms that only need the interface
+(powers, element orders, subgroup closure, random elements via product
+replacement) live here and in :mod:`repro.groups.subgroup`.
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.linalg.modular import element_order_from_exponent, factorint, lcm
+
+__all__ = ["FiniteGroup", "GroupError", "product_replacement_sampler"]
+
+Element = Any
+
+
+class GroupError(Exception):
+    """Raised for structurally invalid group operations."""
+
+
+class FiniteGroup(abc.ABC):
+    """Interface for a finite group given by generators.
+
+    Subclasses must implement the primitive operations; the base class
+    provides generic powers, orders, enumeration and random sampling.  The
+    ``name`` attribute is cosmetic and used in benchmark reports.
+    """
+
+    name: str = "G"
+
+    # -- primitive operations -------------------------------------------------
+    @abc.abstractmethod
+    def identity(self) -> Element:
+        """The identity element."""
+
+    @abc.abstractmethod
+    def multiply(self, a: Element, b: Element) -> Element:
+        """The product ``a * b``."""
+
+    @abc.abstractmethod
+    def inverse(self, a: Element) -> Element:
+        """The inverse ``a**-1``."""
+
+    @abc.abstractmethod
+    def generators(self) -> List[Element]:
+        """A generating set for the group."""
+
+    # -- encoding (black-box plumbing) ----------------------------------------
+    def encode(self, a: Element) -> bytes:
+        """A canonical byte-string encoding of ``a`` (unique by default)."""
+        return repr(a).encode()
+
+    def decode(self, code: bytes) -> Element:
+        """Inverse of :meth:`encode`; optional, used only by diagnostics."""
+        raise NotImplementedError
+
+    def equal(self, a: Element, b: Element) -> bool:
+        """Equality of group elements (identity test of the black box)."""
+        return a == b
+
+    def is_identity(self, a: Element) -> bool:
+        return self.equal(a, self.identity())
+
+    # -- optional structural data ----------------------------------------------
+    def order(self) -> int:
+        """Group order.  Default: enumerate (exponential; small groups only)."""
+        return len(self.element_list())
+
+    def exponent_bound(self) -> Optional[int]:
+        """A known multiple of every element order, or ``None``.
+
+        Concrete groups override this when a cheap bound exists (e.g. the
+        group order for permutation groups, ``p * |N|`` for extensions).  The
+        bound lets :meth:`element_order` avoid brute-force iteration, in the
+        same way the paper's algorithms use a superset of the primes dividing
+        ``|G|`` (hypothesis (a) of Theorem 4).
+        """
+        return None
+
+    # -- derived operations -----------------------------------------------------
+    def power(self, a: Element, k: int) -> Element:
+        """``a**k`` by binary exponentiation (``k`` may be negative)."""
+        if k < 0:
+            return self.power(self.inverse(a), -k)
+        result = self.identity()
+        base = a
+        while k:
+            if k & 1:
+                result = self.multiply(result, base)
+            base = self.multiply(base, base)
+            k >>= 1
+        return result
+
+    def conjugate(self, g: Element, h: Element) -> Element:
+        """``g * h * g**-1``."""
+        return self.multiply(self.multiply(g, h), self.inverse(g))
+
+    def commutator(self, a: Element, b: Element) -> Element:
+        """``a * b * a**-1 * b**-1``."""
+        return self.multiply(self.multiply(a, b), self.multiply(self.inverse(a), self.inverse(b)))
+
+    def element_order(self, a: Element, exponent: Optional[int] = None) -> int:
+        """Order of ``a``.
+
+        If a multiple of the order is available (argument or
+        :meth:`exponent_bound`), the order is computed by dividing out primes
+        — the classical post-processing of Shor order finding.  Otherwise the
+        element is iterated until the identity is reached.
+        """
+        if self.is_identity(a):
+            return 1
+        bound = exponent if exponent is not None else self.exponent_bound()
+        if bound is not None:
+            return element_order_from_exponent(
+                lambda k: self.power(a, k), self.is_identity, bound
+            )
+        current = a
+        order = 1
+        while not self.is_identity(current):
+            current = self.multiply(current, a)
+            order += 1
+            if order > 10**7:
+                raise GroupError("element order exceeds enumeration limit")
+        return order
+
+    def is_abelian(self) -> bool:
+        """Whether all generators commute pairwise."""
+        gens = self.generators()
+        for i, a in enumerate(gens):
+            for b in gens[i + 1 :]:
+                if not self.equal(self.multiply(a, b), self.multiply(b, a)):
+                    return False
+        return True
+
+    # -- enumeration --------------------------------------------------------------
+    def element_list(self) -> List[Element]:
+        """All group elements by breadth-first closure over the generators.
+
+        Cached after the first call.  Only use on groups small enough to
+        enumerate; the HSP solvers themselves never call this on the ambient
+        group (it would defeat the point), but tests and instance builders do.
+        """
+        cached = getattr(self, "_element_cache", None)
+        if cached is not None:
+            return cached
+        gens = list(self.generators())
+        gens = gens + [self.inverse(g) for g in gens]
+        seen: Dict[Element, None] = {self.identity(): None}
+        frontier = [self.identity()]
+        while frontier:
+            nxt: List[Element] = []
+            for x in frontier:
+                for g in gens:
+                    y = self.multiply(x, g)
+                    if y not in seen:
+                        seen[y] = None
+                        nxt.append(y)
+            frontier = nxt
+        elements = list(seen)
+        self._element_cache = elements
+        return elements
+
+    def __contains__(self, element: Element) -> bool:
+        return element in set(self.element_list())
+
+    # -- random sampling --------------------------------------------------------------
+    def random_element(self, rng: np.random.Generator, mixing_steps: int = 50) -> Element:
+        """A (nearly uniform) random element via product replacement.
+
+        The sampler keeps a per-group cache of the product-replacement state
+        so repeated draws are cheap.  For groups that expose
+        ``uniform_random_element`` (e.g. Abelian tuple groups) that exact
+        sampler is used instead.
+        """
+        exact = getattr(self, "uniform_random_element", None)
+        if exact is not None:
+            return exact(rng)
+        sampler = getattr(self, "_pr_sampler", None)
+        if sampler is None:
+            sampler = product_replacement_sampler(self, rng, burn_in=max(mixing_steps, 50))
+            self._pr_sampler = sampler
+        return sampler(rng)
+
+    def random_word(self, rng: np.random.Generator, length: int = 20) -> Element:
+        """Product of ``length`` random generators/inverses (mixing helper)."""
+        gens = self.generators()
+        gens = gens + [self.inverse(g) for g in gens]
+        x = self.identity()
+        for _ in range(length):
+            x = self.multiply(x, gens[int(rng.integers(0, len(gens)))])
+        return x
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name}>"
+
+
+def product_replacement_sampler(group: FiniteGroup, rng: np.random.Generator, burn_in: int = 50, slots: int = 10):
+    """Product replacement ("rattle") random element generator.
+
+    Returns a closure drawing elements whose distribution rapidly approaches
+    uniform; this is the standard black-box-group sampling technique used by
+    the Beals--Babai algorithms (and by Babai's Monte Carlo normal closure
+    algorithm, reference [1] of the paper).
+    """
+    gens = list(group.generators())
+    if not gens:
+        return lambda _rng: group.identity()
+    state: List[Element] = [gens[i % len(gens)] for i in range(max(slots, len(gens)))]
+    accumulator = group.identity()
+
+    def step(local_rng: np.random.Generator) -> None:
+        nonlocal accumulator
+        i = int(local_rng.integers(0, len(state)))
+        j = int(local_rng.integers(0, len(state)))
+        while j == i and len(state) > 1:
+            j = int(local_rng.integers(0, len(state)))
+        factor = state[j] if local_rng.integers(0, 2) else group.inverse(state[j])
+        if local_rng.integers(0, 2):
+            state[i] = group.multiply(state[i], factor)
+        else:
+            state[i] = group.multiply(factor, state[i])
+        accumulator = group.multiply(accumulator, state[i])
+
+    for _ in range(burn_in):
+        step(rng)
+
+    def draw(local_rng: np.random.Generator) -> Element:
+        for _ in range(3):
+            step(local_rng)
+        return accumulator
+
+    return draw

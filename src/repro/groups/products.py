@@ -1,0 +1,236 @@
+"""Direct, semidirect and wreath products.
+
+The paper's "new" solvable instances are all extensions of an Abelian normal
+subgroup by a small or cyclic group:
+
+* Theorem 13's flagship family is the wreath product ``Z_2^k wr Z_2 =
+  (Z_2^k x Z_2^k) : Z_2`` of Rötteler--Beth, and more generally any group
+  with an elementary Abelian normal 2-subgroup and cyclic (or small) factor;
+* the dihedral groups ``D_n = Z_n : Z_2`` and the metacyclic groups
+  ``Z_p : Z_q`` are the standard solvable test beds for Theorem 8.
+
+These constructions are provided here as generic :class:`DirectProduct` and
+:class:`SemidirectProduct` groups over arbitrary component groups, plus named
+factories for the families used in the experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.groups.abelian import AbelianTupleGroup, cyclic_group, elementary_abelian_group
+from repro.groups.base import FiniteGroup, GroupError
+from repro.linalg.modular import lcm, multiplicative_order
+
+__all__ = [
+    "DirectProduct",
+    "SemidirectProduct",
+    "wreath_product_z2",
+    "dihedral_semidirect",
+    "metacyclic_group",
+    "generalized_dihedral",
+]
+
+
+class DirectProduct(FiniteGroup):
+    """The direct product of finitely many groups; elements are tuples."""
+
+    def __init__(self, factors: Sequence[FiniteGroup], name: Optional[str] = None):
+        if not factors:
+            raise GroupError("DirectProduct requires at least one factor")
+        self.factors = list(factors)
+        self.name = name or " x ".join(f.name for f in self.factors)
+
+    def identity(self):
+        return tuple(f.identity() for f in self.factors)
+
+    def multiply(self, a, b):
+        return tuple(f.multiply(x, y) for f, x, y in zip(self.factors, a, b))
+
+    def inverse(self, a):
+        return tuple(f.inverse(x) for f, x in zip(self.factors, a))
+
+    def generators(self) -> List:
+        gens = []
+        identities = [f.identity() for f in self.factors]
+        for index, factor in enumerate(self.factors):
+            for g in factor.generators():
+                element = list(identities)
+                element[index] = g
+                gens.append(tuple(element))
+        return gens
+
+    def encode(self, a) -> bytes:
+        return b"|".join(f.encode(x) for f, x in zip(self.factors, a))
+
+    def order(self) -> int:
+        total = 1
+        for f in self.factors:
+            total *= f.order()
+        return total
+
+    def exponent_bound(self) -> Optional[int]:
+        bound = 1
+        for f in self.factors:
+            b = f.exponent_bound()
+            if b is None:
+                return None
+            bound = lcm(bound, b)
+        return bound
+
+    def uniform_random_element(self, rng: np.random.Generator):
+        return tuple(f.random_element(rng) for f in self.factors)
+
+
+class SemidirectProduct(FiniteGroup):
+    """The (outer) semidirect product ``N : K``.
+
+    ``action(k, n)`` must implement the automorphism of ``N`` induced by the
+    element ``k`` of ``K`` (i.e. ``phi_k(n)``), satisfying
+    ``phi_{k1 k2} = phi_{k1} . phi_{k2}``.  Elements are pairs ``(n, k)`` with
+    multiplication ``(n1, k1)(n2, k2) = (n1 * phi_{k1}(n2), k1 k2)``.
+    """
+
+    def __init__(
+        self,
+        normal: FiniteGroup,
+        quotient: FiniteGroup,
+        action: Callable[[object, object], object],
+        name: Optional[str] = None,
+    ):
+        self.normal = normal
+        self.quotient = quotient
+        self.action = action
+        self.name = name or f"({normal.name}) : ({quotient.name})"
+
+    def identity(self):
+        return (self.normal.identity(), self.quotient.identity())
+
+    def multiply(self, a, b):
+        n1, k1 = a
+        n2, k2 = b
+        return (self.normal.multiply(n1, self.action(k1, n2)), self.quotient.multiply(k1, k2))
+
+    def inverse(self, a):
+        n, k = a
+        k_inv = self.quotient.inverse(k)
+        return (self.action(k_inv, self.normal.inverse(n)), k_inv)
+
+    def generators(self) -> List:
+        gens = []
+        for n in self.normal.generators():
+            gens.append((n, self.quotient.identity()))
+        for k in self.quotient.generators():
+            gens.append((self.normal.identity(), k))
+        return gens
+
+    def encode(self, a) -> bytes:
+        n, k = a
+        return self.normal.encode(n) + b"#" + self.quotient.encode(k)
+
+    def order(self) -> int:
+        return self.normal.order() * self.quotient.order()
+
+    def exponent_bound(self) -> Optional[int]:
+        bn = self.normal.exponent_bound()
+        bk = self.quotient.exponent_bound()
+        if bn is None or bk is None:
+            return self.order()
+        # Element orders divide |N| * exponent(K) in a split extension; the
+        # coarse bound lcm(bn, bk) * bn is always a safe multiple.
+        return lcm(bn, bk) * bn
+
+    def uniform_random_element(self, rng: np.random.Generator):
+        return (self.normal.random_element(rng), self.quotient.random_element(rng))
+
+    # -- convenience -----------------------------------------------------------
+    def embed_normal(self, n) -> Tuple:
+        """The element ``(n, 1)`` of the product."""
+        return (n, self.quotient.identity())
+
+    def embed_quotient(self, k) -> Tuple:
+        """The element ``(1, k)`` of the product."""
+        return (self.normal.identity(), k)
+
+    def normal_part_generators(self) -> List:
+        return [self.embed_normal(n) for n in self.normal.generators()]
+
+
+# ---------------------------------------------------------------------------
+# Named families
+# ---------------------------------------------------------------------------
+
+
+def wreath_product_z2(k: int) -> SemidirectProduct:
+    """The wreath product ``Z_2^k wr Z_2`` of Rötteler--Beth.
+
+    The base group is ``N = Z_2^k x Z_2^k`` (stored as a single tuple group of
+    rank ``2k``) and the top ``Z_2`` swaps the two halves.  These are the
+    groups for which Rötteler and Beth first exhibited an efficient quantum
+    HSP algorithm; Theorem 13 subsumes them because ``N`` is an elementary
+    Abelian normal 2-subgroup with cyclic factor group.
+    """
+    if k < 1:
+        raise GroupError("wreath_product_z2 requires k >= 1")
+    base = AbelianTupleGroup([2] * (2 * k), name=f"Z_2^{2 * k}")
+    top = cyclic_group(2)
+
+    def action(swap, vector):
+        if swap[0] % 2 == 0:
+            return vector
+        return tuple(vector[k:]) + tuple(vector[:k])
+
+    return SemidirectProduct(base, top, action, name=f"Z_2^{k} wr Z_2")
+
+
+def dihedral_semidirect(n: int) -> SemidirectProduct:
+    """The dihedral group ``D_n = Z_n : Z_2`` (inversion action)."""
+    if n < 3:
+        raise GroupError("dihedral_semidirect requires n >= 3")
+    rotation = cyclic_group(n)
+    flip = cyclic_group(2)
+
+    def action(k, x):
+        return x if k[0] % 2 == 0 else rotation.inverse(x)
+
+    return SemidirectProduct(rotation, flip, action, name=f"D_{n}(semidirect)")
+
+
+def metacyclic_group(p: int, q: int, multiplier: Optional[int] = None) -> SemidirectProduct:
+    """The non-Abelian metacyclic group ``Z_p : Z_q`` (``q`` dividing ``p - 1``).
+
+    The generator of ``Z_q`` acts on ``Z_p`` as multiplication by an element
+    ``multiplier`` of multiplicative order ``q`` modulo ``p``.  These solvable
+    groups are classic Theorem 8 test instances (their proper normal
+    subgroups are the subgroups of ``Z_p`` plus the whole group).
+    """
+    if (p - 1) % q != 0:
+        raise GroupError("metacyclic_group requires q | p - 1")
+    if multiplier is None:
+        from repro.linalg.modular import primitive_root
+
+        root = primitive_root(p)
+        multiplier = pow(root, (p - 1) // q, p)
+    if multiplicative_order(multiplier, p) != q:
+        raise GroupError("multiplier must have multiplicative order q modulo p")
+    base = cyclic_group(p)
+    top = cyclic_group(q)
+
+    def action(k, x):
+        factor = pow(multiplier, k[0], p)
+        return (x[0] * factor % p,)
+
+    return SemidirectProduct(base, top, action, name=f"Z_{p} : Z_{q}")
+
+
+def generalized_dihedral(moduli: Sequence[int]) -> SemidirectProduct:
+    """The generalised dihedral group ``A : Z_2`` with inversion action on ``A``."""
+    base = AbelianTupleGroup(moduli)
+    top = cyclic_group(2)
+
+    def action(k, x):
+        return x if k[0] % 2 == 0 else base.inverse(x)
+
+    return SemidirectProduct(base, top, action, name=f"Dih({base.name})")

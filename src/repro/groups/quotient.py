@@ -1,0 +1,95 @@
+"""Concrete quotient groups ``G / N`` with canonical coset representatives.
+
+The paper's algorithms never construct quotient groups explicitly — they work
+with *non-unique encodings* (Theorem 7) or with coset superpositions
+(Theorem 10).  Tests and instance builders, however, need the quotient as an
+honest group object so that solver output can be compared against ground
+truth.  This module provides that reference implementation: each coset is
+represented by the element with the lexicographically smallest encoding,
+which requires enumerating ``N`` (small normal subgroups only).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.groups.base import FiniteGroup, GroupError
+from repro.groups.subgroup import generate_subgroup_elements, is_normal_subgroup
+
+__all__ = ["QuotientGroup"]
+
+
+class QuotientGroup(FiniteGroup):
+    """The factor group ``G / N`` for an enumerable normal subgroup ``N``.
+
+    Elements of the quotient are canonical coset representatives (elements of
+    ``G``); multiplication multiplies representatives in ``G`` and
+    re-canonicalises.
+    """
+
+    def __init__(
+        self,
+        group: FiniteGroup,
+        normal_generators: Sequence,
+        *,
+        check_normal: bool = True,
+        max_normal_order: int = 1_000_000,
+    ):
+        self.group = group
+        self.normal_generators = list(normal_generators)
+        if check_normal and not is_normal_subgroup(group, self.normal_generators):
+            raise GroupError("QuotientGroup requires a normal subgroup")
+        self.normal_elements = generate_subgroup_elements(group, self.normal_generators, limit=max_normal_order)
+        self.name = f"{group.name}/N(|N|={len(self.normal_elements)})"
+        self._canonical_cache: dict = {}
+
+    # -- coset plumbing --------------------------------------------------------
+    def canonical(self, g):
+        """The canonical representative of the coset ``gN``."""
+        cached = self._canonical_cache.get(g)
+        if cached is not None:
+            return cached
+        best = None
+        best_code = None
+        for n in self.normal_elements:
+            candidate = self.group.multiply(g, n)
+            code = self.group.encode(candidate)
+            if best_code is None or code < best_code:
+                best, best_code = candidate, code
+        self._canonical_cache[g] = best
+        return best
+
+    def natural_map(self) -> Callable:
+        """The projection ``G -> G/N`` as a callable."""
+        return self.canonical
+
+    # -- FiniteGroup interface ----------------------------------------------------
+    def identity(self):
+        return self.canonical(self.group.identity())
+
+    def multiply(self, a, b):
+        return self.canonical(self.group.multiply(a, b))
+
+    def inverse(self, a):
+        return self.canonical(self.group.inverse(a))
+
+    def generators(self) -> List:
+        gens = [self.canonical(g) for g in self.group.generators()]
+        return [g for g in gens if not self.group.equal(g, self.identity())] or [self.identity()]
+
+    def encode(self, a) -> bytes:
+        return self.group.encode(self.canonical(a))
+
+    def equal(self, a, b) -> bool:
+        return self.group.equal(self.canonical(a), self.canonical(b))
+
+    def order(self) -> int:
+        return self.group.order() // len(self.normal_elements)
+
+    def exponent_bound(self) -> Optional[int]:
+        return self.group.exponent_bound()
+
+    def uniform_random_element(self, rng: np.random.Generator):
+        return self.canonical(self.group.random_element(rng))

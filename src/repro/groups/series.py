@@ -1,0 +1,156 @@
+"""Derived series, solvability and composition factors.
+
+The paper's headline group classes are characterised by classical structural
+series:
+
+* Theorem 8 applies to *solvable* groups (derived series reaching the
+  trivial group) and permutation groups;
+* the Beals--Babai machinery (Theorem 4) produces composition series with
+  nice factor representations; for solvable groups the composition factors
+  are cyclic of prime order.
+
+This module gives the classical reference implementations used by tests and
+by the instance builders: derived series by normal closure of commutators,
+solvability testing, and (for enumerable groups) polycyclic generating
+sequences whose factors are cyclic of prime order.  The quantum
+implementations in :mod:`repro.core` follow the paper and only assume oracle
+access; these classical versions provide the ground truth they are validated
+against.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.groups.base import FiniteGroup, GroupError
+from repro.groups.subgroup import (
+    SubgroupView,
+    commutator_subgroup_generators,
+    generate_subgroup_elements,
+    make_membership_tester,
+)
+from repro.linalg.modular import factorint
+
+__all__ = [
+    "derived_series",
+    "is_solvable",
+    "solvable_length",
+    "polycyclic_series",
+    "composition_factor_orders",
+]
+
+
+def derived_series(group: FiniteGroup, max_length: int = 64) -> List[List]:
+    """The derived series ``G = G^(0) >= G^(1) >= ...`` as generator lists.
+
+    The series stops when it stabilises (``G^(i+1) = G^(i)``) or reaches the
+    trivial subgroup.  Each entry is a generating set of the corresponding
+    derived subgroup; the first entry is the group's own generating set.
+    """
+    series: List[List] = [list(group.generators())]
+    for _ in range(max_length):
+        current = series[-1]
+        if not current or all(group.is_identity(g) for g in current):
+            break
+        view = SubgroupView(group, current)
+        derived = commutator_subgroup_generators(view, current)
+        derived = [g for g in derived if not group.is_identity(g)]
+        series.append(derived)
+        if not derived:
+            break
+        if _same_subgroup(group, current, derived):
+            break
+    return series
+
+
+def _same_subgroup(group: FiniteGroup, gens_a: Sequence, gens_b: Sequence) -> bool:
+    """Whether two generating sets generate the same subgroup."""
+    member_a = make_membership_tester(group, gens_a)
+    member_b = make_membership_tester(group, gens_b)
+    return all(member_a(g) for g in gens_b) and all(member_b(g) for g in gens_a)
+
+
+def is_solvable(group: FiniteGroup) -> bool:
+    """Whether the group is solvable (derived series reaches the identity)."""
+    series = derived_series(group)
+    last = series[-1]
+    return not last or all(group.is_identity(g) for g in last)
+
+
+def solvable_length(group: FiniteGroup) -> int:
+    """Derived length of a solvable group.
+
+    Raises :class:`GroupError` for non-solvable groups.
+    """
+    series = derived_series(group)
+    last = series[-1]
+    if last and not all(group.is_identity(g) for g in last):
+        raise GroupError("group is not solvable")
+    return len(series) - 1
+
+
+def _derived_layer_elements(group: FiniteGroup, max_order: int) -> List[List]:
+    """Element lists of the derived subgroups, outermost first, ending at {1}."""
+    layers: List[List] = []
+    for gens in derived_series(group):
+        gens = [g for g in gens if not group.is_identity(g)]
+        if gens:
+            layers.append(generate_subgroup_elements(group, gens, limit=max_order))
+        else:
+            layers.append([group.identity()])
+    if len(layers[-1]) > 1:
+        raise GroupError("polycyclic series requires a solvable group")
+    return layers
+
+
+def polycyclic_series(group: FiniteGroup, max_order: int = 200_000) -> List[Tuple[object, int]]:
+    """A polycyclic generating sequence for a small solvable group.
+
+    Returns pairs ``(g_i, p_i)`` (outermost first) such that successively
+    adjoining the ``g_i`` from the bottom of the list upwards refines the
+    derived series into steps with cyclic factors of prime order ``p_i``.
+    Consequently ``prod(p_i) == |G|``.  Implemented by enumeration (the group
+    order must stay below ``max_order``).
+    """
+    layers = _derived_layer_elements(group, max_order)
+    chain: List[Tuple[object, int]] = []
+    for upper, lower in zip(layers[:-1], layers[1:]):
+        layer_choices: List[object] = []
+        layer_chain: List[Tuple[object, int]] = []
+        current = set(lower)
+        while len(current) < len(upper):
+            candidate = next(x for x in upper if x not in current)
+            # Smallest r >= 1 with candidate^r inside the current subgroup.
+            power = candidate
+            rel_order = 1
+            while power not in current:
+                power = group.multiply(power, candidate)
+                rel_order += 1
+            element = candidate
+            for prime, multiplicity in sorted(factorint(rel_order).items()):
+                for _ in range(multiplicity):
+                    layer_chain.append((element, prime))
+                    element = group.power(element, prime)
+            layer_choices.append(candidate)
+            current = set(
+                generate_subgroup_elements(group, list(lower) + layer_choices, limit=max_order)
+            )
+        chain.extend(layer_chain)
+    return chain
+
+
+def composition_factor_orders(group: FiniteGroup, max_order: int = 200_000) -> List[int]:
+    """Orders of the composition factors of a small solvable group.
+
+    For a solvable group every composition factor is cyclic of prime order;
+    the multiset of those primes is exactly the multiset of prime factors of
+    ``|G|``, and is returned here layer by layer of the derived series
+    (outermost first).
+    """
+    layers = _derived_layer_elements(group, max_order)
+    primes: List[int] = []
+    for upper, lower in zip(layers[:-1], layers[1:]):
+        ratio = len(upper) // len(lower)
+        for prime, multiplicity in sorted(factorint(ratio).items()):
+            primes.extend([prime] * multiplicity)
+    return primes

@@ -1,0 +1,43 @@
+"""The Abelian hidden subgroup engine and the baseline solvers.
+
+Everything the paper takes as known technology lives here:
+
+``abelian``
+    the standard Fourier-sampling solver for the Abelian HSP (Theorem 3,
+    Mosca / Brassard--Høyer / Jozsa) with exact lattice reconstruction;
+``decomposition``
+    the Cheung--Mosca decomposition of Abelian black-box groups into cyclic
+    factors (Theorem 1);
+``oracles``
+    power-product oracles: the Abelian HSP instances that the paper's
+    algorithms build on the fly (Theorems 6, 7, 10, 11, 13);
+``baseline_classical``
+    the exhaustive classical solver (exponential in ``log |G|``) used as the
+    contrast baseline in the experiments;
+``ettinger_hoyer``
+    the dihedral-group sampler of Ettinger--Høyer: ``O(log |G|)`` quantum
+    queries but exponential classical post-processing, reproduced to
+    illustrate why the paper does not count it as an efficient algorithm;
+``rotteler_beth``
+    the wreath-product algorithm of Rötteler--Beth, the special case of
+    Theorem 13 that predates the paper.
+"""
+
+from repro.hsp.abelian import AbelianHSPResult, solve_abelian_hsp, solve_hsp_in_abelian_group
+from repro.hsp.decomposition import decompose_abelian_group
+from repro.hsp.oracles import power_product_oracle, hidden_power_product_oracle
+from repro.hsp.baseline_classical import classical_exhaustive_hsp
+from repro.hsp.ettinger_hoyer import ettinger_hoyer_dihedral
+from repro.hsp.rotteler_beth import rotteler_beth_wreath
+
+__all__ = [
+    "AbelianHSPResult",
+    "solve_abelian_hsp",
+    "solve_hsp_in_abelian_group",
+    "decompose_abelian_group",
+    "power_product_oracle",
+    "hidden_power_product_oracle",
+    "classical_exhaustive_hsp",
+    "ettinger_hoyer_dihedral",
+    "rotteler_beth_wreath",
+]

@@ -1,0 +1,64 @@
+"""Exact linear algebra substrate.
+
+These modules provide the integer / modular linear algebra underlying the
+Abelian hidden subgroup reconstruction (Theorem 3 of the paper), the
+Cheung--Mosca decomposition (Theorem 1), and the GF(2) computations used by
+Theorem 13 (elementary Abelian normal 2-subgroups).
+
+Contents
+--------
+``modular``
+    Extended gcd, CRT, factorisation, multiplicative orders, discrete logs.
+``smith``
+    Smith normal form of integer matrices with unimodular transforms.
+``hermite``
+    Hermite normal form and integer lattice kernels/images.
+``zmodule``
+    Subgroup arithmetic inside ``Z_{s1} x ... x Z_{sr}`` (membership,
+    annihilators/orthogonal subgroups, orders) built on the normal forms.
+``gf2``
+    Vectorised linear algebra over GF(2) (NumPy ``uint8`` arrays).
+"""
+
+from repro.linalg.modular import (
+    crt,
+    crt_pair,
+    discrete_log,
+    egcd,
+    factorint,
+    is_probable_prime,
+    lcm,
+    modinv,
+    multiplicative_order,
+)
+from repro.linalg.smith import smith_normal_form
+from repro.linalg.hermite import hermite_normal_form, integer_kernel
+from repro.linalg.zmodule import (
+    ZModule,
+    annihilator,
+    kernel_mod,
+    member_coefficients,
+    subgroup_order,
+)
+from repro.linalg.gf2 import GF2Matrix
+
+__all__ = [
+    "egcd",
+    "modinv",
+    "lcm",
+    "crt_pair",
+    "crt",
+    "is_probable_prime",
+    "factorint",
+    "multiplicative_order",
+    "discrete_log",
+    "smith_normal_form",
+    "hermite_normal_form",
+    "integer_kernel",
+    "ZModule",
+    "kernel_mod",
+    "annihilator",
+    "member_coefficients",
+    "subgroup_order",
+    "GF2Matrix",
+]

@@ -1,0 +1,70 @@
+"""Quantum simulation substrate.
+
+The paper assumes a quantum computer able to run approximate quantum Fourier
+transforms over Abelian groups, evaluate group and hiding oracles in
+superposition, and perform Shor order finding / discrete logarithms.  This
+package provides two interchangeable realisations of those primitives:
+
+``state`` / ``qft``
+    a dense state-vector simulator over composite registers
+    ``Z_{d1} x ... x Z_{dk}`` with vectorised mixed-radix QFTs — the honest,
+    exponential-cost, gate-level backend used on small instances and as
+    ground truth;
+``sampling``
+    the Fourier-sampling layer with a ``statevector`` backend (built on the
+    simulator's measurement distribution) and an ``analytic`` backend that
+    samples the identical distribution (uniform over the annihilator of the
+    hidden subgroup) in polynomial time from the instance's declared coset
+    structure;
+``shor``
+    order finding, period finding, discrete logarithms and factoring, both as
+    gate-level demonstrations and as accounted oracles (the paper's
+    hypothesis (b) of Theorem 4);
+``watrous``
+    the solvable-group primitives of Watrous (Theorem 2): orders modulo a
+    normal subgroup given by generators, membership, and coset-state
+    identity tests.
+"""
+
+from repro.quantum.state import RegisterState
+from repro.quantum.qft import qft_matrix, qft_probabilities_of_coset
+from repro.quantum.sampling import (
+    AbelianHSPOracle,
+    FourierSampler,
+    SubgroupStructureOracle,
+    TupleFunctionOracle,
+)
+from repro.quantum.shor import (
+    continued_fraction_convergents,
+    order_via_period_sampling,
+    quantum_discrete_log,
+    quantum_element_order,
+    quantum_factor,
+    shor_period_gate_level,
+)
+from repro.quantum.watrous import (
+    coset_identity_test,
+    normal_subgroup_membership,
+    order_modulo_subgroup,
+    uniform_superposition_elements,
+)
+
+__all__ = [
+    "RegisterState",
+    "qft_matrix",
+    "qft_probabilities_of_coset",
+    "AbelianHSPOracle",
+    "TupleFunctionOracle",
+    "SubgroupStructureOracle",
+    "FourierSampler",
+    "quantum_element_order",
+    "quantum_discrete_log",
+    "quantum_factor",
+    "shor_period_gate_level",
+    "order_via_period_sampling",
+    "continued_fraction_convergents",
+    "order_modulo_subgroup",
+    "normal_subgroup_membership",
+    "uniform_superposition_elements",
+    "coset_identity_test",
+]

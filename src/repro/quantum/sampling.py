@@ -1,0 +1,255 @@
+"""Fourier sampling for the Abelian hidden subgroup problem.
+
+The standard quantum algorithm for the Abelian HSP (Theorem 3 of the paper,
+and Lemma 9 for quantum-state-valued oracles) repeats the following round:
+
+1. prepare a uniform superposition over the Abelian group ``A``,
+2. evaluate the hiding function into a second register,
+3. apply the QFT over ``A`` to the first register,
+4. measure — the outcome is a uniformly random element of ``H^perp``.
+
+This module implements that round against an :class:`AbelianHSPOracle` with
+two interchangeable backends:
+
+``statevector``
+    the honest simulation: evaluate the oracle over the whole domain, form
+    the post-measurement coset state, Fourier transform it with a
+    mixed-radix FFT and sample from the exact distribution.  Exponential in
+    ``log |A|``; used for small domains and as ground truth.
+
+``analytic``
+    the polynomial-time stand-in for quantum hardware: the oracle's declared
+    (or cached) coset structure gives ``H``; the sampler draws uniformly from
+    ``H^perp`` directly.  The distribution is identical to the statevector
+    backend by the standard analysis, which the test-suite checks
+    statistically.
+
+Query accounting: each sampling round counts as **one** quantum query to the
+hiding oracle regardless of backend, matching how the paper counts oracle
+uses.
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.blackbox.oracle import QueryCounter
+from repro.linalg.zmodule import ZModule, annihilator, canonical_generators, cyclic_decomposition
+from repro.quantum.qft import qft_probabilities_of_coset
+
+__all__ = [
+    "AbelianHSPOracle",
+    "TupleFunctionOracle",
+    "SubgroupStructureOracle",
+    "FourierSampler",
+]
+
+Vector = Tuple[int, ...]
+
+
+class AbelianHSPOracle(abc.ABC):
+    """An Abelian HSP instance over ``Z_{s1} x ... x Z_{sr}``.
+
+    Concrete oracles provide ``evaluate`` (the hiding function) and
+    ``kernel_generators`` (the coset structure used by the analytic backend
+    and by verification).  ``kernel_generators`` is *simulation-side*
+    information: solver logic only consumes the samples produced by
+    :class:`FourierSampler`.
+    """
+
+    def __init__(self, moduli: Sequence[int], counter: Optional[QueryCounter] = None, description: str = "oracle"):
+        self.module = ZModule(moduli)
+        self.moduli = self.module.moduli
+        self.counter = counter if counter is not None else QueryCounter()
+        self.description = description
+
+    @abc.abstractmethod
+    def evaluate(self, element: Vector):
+        """The hiding function value on ``element`` (hashable)."""
+
+    @abc.abstractmethod
+    def kernel_generators(self) -> List[Vector]:
+        """Generators of the hidden subgroup (declared or computed once)."""
+
+    def domain_size(self) -> int:
+        return self.module.order
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.description}, moduli={self.moduli})"
+
+
+class TupleFunctionOracle(AbelianHSPOracle):
+    """An Abelian HSP oracle defined by an arbitrary labelling function.
+
+    If the hidden subgroup is not declared at construction time it is
+    computed (once, lazily) by enumerating the domain and collecting the
+    coset of the identity — the same work the statevector backend performs.
+    ``max_enumeration`` bounds that cost; larger domains must declare their
+    kernel.
+    """
+
+    def __init__(
+        self,
+        moduli: Sequence[int],
+        func: Callable[[Vector], object],
+        declared_kernel: Optional[Sequence[Vector]] = None,
+        counter: Optional[QueryCounter] = None,
+        description: str = "function oracle",
+        max_enumeration: int = 1 << 18,
+    ):
+        super().__init__(moduli, counter, description)
+        self._func = func
+        self._declared = [self.module.reduce(g) for g in declared_kernel] if declared_kernel is not None else None
+        self._kernel_cache: Optional[List[Vector]] = None
+        self._value_cache: Dict[Vector, object] = {}
+        self.max_enumeration = max_enumeration
+
+    def evaluate(self, element: Vector):
+        element = self.module.reduce(element)
+        if element in self._value_cache:
+            return self._value_cache[element]
+        value = self._func(element)
+        self._value_cache[element] = value
+        return value
+
+    def kernel_generators(self) -> List[Vector]:
+        if self._declared is not None:
+            return list(self._declared)
+        if self._kernel_cache is None:
+            if self.domain_size() > self.max_enumeration:
+                raise ValueError(
+                    f"domain of size {self.domain_size()} is too large to enumerate; "
+                    "declare the kernel or use the statevector backend with a smaller instance"
+                )
+            identity_label = self.evaluate(self.module.identity())
+            kernel = [
+                x for x in self.module.elements() if self.evaluate(x) == identity_label
+            ]
+            self._kernel_cache = canonical_generators(kernel, self.moduli)
+        return list(self._kernel_cache)
+
+
+class SubgroupStructureOracle(AbelianHSPOracle):
+    """An oracle whose hidden subgroup is known by construction.
+
+    Evaluation labels cosets through the canonical lattice representative
+    (polynomial time), so instances scale to groups of order ``2^60`` and
+    beyond; this is the oracle used for the large-scale Abelian HSP scaling
+    benchmarks (experiment E1).
+    """
+
+    def __init__(
+        self,
+        moduli: Sequence[int],
+        subgroup_generators: Sequence[Vector],
+        counter: Optional[QueryCounter] = None,
+        description: str = "subgroup oracle",
+    ):
+        super().__init__(moduli, counter, description)
+        self._generators = canonical_generators(subgroup_generators, self.moduli)
+
+    def evaluate(self, element: Vector):
+        from repro.linalg.zmodule import coset_representative
+
+        return coset_representative(element, self._generators, self.moduli)
+
+    def kernel_generators(self) -> List[Vector]:
+        return list(self._generators)
+
+
+class FourierSampler:
+    """Samples dual-group elements from the Fourier-sampling distribution.
+
+    Parameters
+    ----------
+    backend:
+        ``"analytic"``, ``"statevector"`` or ``"auto"`` (statevector when the
+        domain fits under ``statevector_limit``, analytic otherwise).
+    rng:
+        NumPy random generator (reproducibility of every experiment).
+    statevector_limit:
+        Largest domain size simulated with the dense backend under ``auto``.
+    """
+
+    def __init__(
+        self,
+        backend: str = "auto",
+        rng: Optional[np.random.Generator] = None,
+        statevector_limit: int = 1 << 14,
+    ):
+        if backend not in ("auto", "analytic", "statevector"):
+            raise ValueError(f"unknown backend {backend!r}")
+        self.backend = backend
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.statevector_limit = statevector_limit
+
+    # -- public API --------------------------------------------------------------
+    def sample(self, oracle: AbelianHSPOracle, count: int = 1) -> List[Vector]:
+        """Draw ``count`` independent Fourier samples (elements of ``H^perp``)."""
+        backend = self._resolve_backend(oracle)
+        samples = []
+        for _ in range(count):
+            oracle.counter.quantum_queries += 1
+            if backend == "statevector":
+                samples.append(self._sample_statevector(oracle))
+            else:
+                samples.append(self._sample_analytic(oracle))
+        return samples
+
+    def _resolve_backend(self, oracle: AbelianHSPOracle) -> str:
+        if self.backend != "auto":
+            return self.backend
+        return "statevector" if oracle.domain_size() <= self.statevector_limit else "analytic"
+
+    # -- statevector backend ---------------------------------------------------------
+    def _sample_statevector(self, oracle: AbelianHSPOracle) -> Vector:
+        module = oracle.module
+        moduli = module.moduli
+        # Evaluate the oracle over the whole domain (the superposition query).
+        labels: Dict[object, List[Vector]] = {}
+        for x in module.elements():
+            labels.setdefault(oracle.evaluate(x), []).append(x)
+        # Measuring the value register selects a coset uniformly (all cosets
+        # have |H| elements).
+        keys = sorted(labels.keys(), key=repr)
+        chosen = keys[int(self.rng.integers(0, len(keys)))]
+        indicator = np.zeros(moduli, dtype=np.float64)
+        for x in labels[chosen]:
+            indicator[x] = 1.0
+        probabilities = qft_probabilities_of_coset(indicator)
+        flat = probabilities.reshape(-1)
+        outcome = int(self.rng.choice(len(flat), p=flat))
+        return tuple(int(v) for v in np.unravel_index(outcome, tuple(moduli)))
+
+    # -- analytic backend ----------------------------------------------------------------
+    def _sample_analytic(self, oracle: AbelianHSPOracle) -> Vector:
+        module = oracle.module
+        kernel = oracle.kernel_generators()
+        dual_generators = annihilator(kernel, module.moduli)
+        if not dual_generators:
+            return module.identity()
+        decomposition = cyclic_decomposition(dual_generators, module.moduli)
+        sample = module.identity()
+        for generator, order in decomposition:
+            coefficient = int(self.rng.integers(0, order))
+            sample = module.add(sample, module.scalar(coefficient, generator))
+        return sample
+
+    # -- diagnostics -----------------------------------------------------------------------
+    def exact_distribution(self, oracle: AbelianHSPOracle) -> np.ndarray:
+        """The exact sampling distribution (uniform over ``H^perp``) as an array.
+
+        Used by statistical tests to cross-validate the two backends.
+        """
+        module = oracle.module
+        dual = annihilator(oracle.kernel_generators(), module.moduli)
+        distribution = np.zeros(module.moduli, dtype=np.float64)
+        elements = module.subgroup_elements(dual) if dual else [module.identity()]
+        weight = 1.0 / len(elements)
+        for y in elements:
+            distribution[y] = weight
+        return distribution

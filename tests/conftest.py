@@ -1,0 +1,31 @@
+"""Shared fixtures for the test-suite.
+
+Every randomised test receives an explicitly seeded generator so the whole
+suite is reproducible; the ``sampler`` fixture is the default Fourier
+sampling backend (auto: statevector for small domains, analytic beyond).
+"""
+
+import numpy as np
+import pytest
+
+from repro.quantum.sampling import FourierSampler
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(20010202)  # arXiv submission date of the paper
+
+
+@pytest.fixture
+def sampler(rng):
+    return FourierSampler(backend="auto", rng=rng)
+
+
+@pytest.fixture
+def analytic_sampler(rng):
+    return FourierSampler(backend="analytic", rng=rng)
+
+
+@pytest.fixture
+def statevector_sampler(rng):
+    return FourierSampler(backend="statevector", rng=rng)

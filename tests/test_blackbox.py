@@ -1,0 +1,161 @@
+"""Unit tests for the black-box group model and HSP instances."""
+
+import numpy as np
+import pytest
+
+from repro.blackbox.instances import (
+    HSPInstance,
+    hiding_oracle_from_subgroup,
+    random_abelian_hsp_instance,
+    subgroup_coset_label,
+)
+from repro.blackbox.oracle import BlackBoxGroup, HidingOracle, QueryCounter
+from repro.groups.abelian import AbelianTupleGroup
+from repro.groups.extraspecial import extraspecial_group
+from repro.groups.perm import symmetric_group
+from repro.groups.products import dihedral_semidirect
+from repro.groups.subgroup import generate_subgroup_elements
+
+
+class TestQueryCounter:
+    def test_snapshot_and_reset(self):
+        counter = QueryCounter()
+        counter.classical_queries += 3
+        counter.bump("order_oracle_calls", 2)
+        snap = counter.snapshot()
+        assert snap["classical_queries"] == 3
+        assert snap["order_oracle_calls"] == 2
+        counter.reset()
+        assert counter.snapshot()["classical_queries"] == 0
+        assert counter.extra == {}
+
+    def test_addition_merges(self):
+        a = QueryCounter(classical_queries=1, quantum_queries=2)
+        a.bump("x")
+        b = QueryCounter(classical_queries=4)
+        b.bump("x", 2)
+        b.bump("y")
+        merged = a + b
+        assert merged.classical_queries == 5
+        assert merged.quantum_queries == 2
+        assert merged.extra == {"x": 3, "y": 1}
+
+
+class TestBlackBoxGroup:
+    def test_operations_counted(self):
+        group = BlackBoxGroup(dihedral_semidirect(5))
+        a = group.generators()[0]
+        group.multiply(a, a)
+        group.inverse(a)
+        group.equal(a, a)
+        assert group.counter.group_multiplications == 1
+        assert group.counter.group_inversions == 1
+        assert group.counter.identity_tests == 1
+
+    def test_delegates_structure(self):
+        base = dihedral_semidirect(5)
+        group = BlackBoxGroup(base)
+        assert group.order() == 10
+        assert group.identity() == base.identity()
+        assert group.exponent_bound() == base.exponent_bound()
+        assert group.encoding_length > 0
+
+    def test_power_counts_multiplications(self):
+        group = BlackBoxGroup(AbelianTupleGroup([64]))
+        group.power((1,), 63)
+        assert group.counter.group_multiplications > 0
+
+    def test_random_element_is_member(self, rng):
+        group = BlackBoxGroup(symmetric_group(4))
+        for _ in range(5):
+            g = group.uniform_random_element(rng)
+            assert symmetric_group(4).contains_permutation(g)
+
+
+class TestHidingOracle:
+    def test_query_counting_with_cache(self):
+        counter = QueryCounter()
+        oracle = HidingOracle(lambda x: x % 3, counter=counter)
+        assert oracle(4) == 1
+        assert oracle(4) == 1  # cached, not re-counted
+        assert oracle(5) == 2
+        assert counter.classical_queries == 2
+
+    def test_quantum_query_accounting(self):
+        oracle = HidingOracle(lambda x: x)
+        oracle.quantum_query()
+        oracle.quantum_query()
+        assert oracle.counter.quantum_queries == 2
+
+    def test_fresh_view_shares_function_not_counts(self):
+        oracle = HidingOracle(lambda x: x * 2, hidden_subgroup_generators=[(1,)])
+        oracle(3)
+        clone = oracle.fresh_view()
+        assert clone(3) == 6
+        assert clone.counter.classical_queries == 1
+        assert oracle.counter.classical_queries == 1
+        assert clone.hidden_subgroup_generators == [(1,)]
+
+
+class TestCosetLabels:
+    def test_abelian_label_is_polynomial_coset_invariant(self):
+        group = AbelianTupleGroup([8, 9])
+        label = subgroup_coset_label(group, [(2, 3)])
+        module = group.module
+        subgroup = module.subgroup_elements([(2, 3)])
+        x = (5, 7)
+        for h in subgroup:
+            assert label(module.add(x, h)) == label(x)
+        assert label((1, 0)) != label((0, 0))
+
+    def test_generic_label_constant_on_left_cosets(self):
+        group = dihedral_semidirect(5)
+        hidden = [group.embed_quotient((1,))]
+        label = subgroup_coset_label(group, hidden)
+        subgroup = generate_subgroup_elements(group, hidden)
+        g = group.embed_normal((2,))
+        for h in subgroup:
+            assert label(group.multiply(g, h)) == label(g)
+
+    def test_generic_label_distinct_across_cosets(self):
+        group = extraspecial_group(3)
+        hidden = [((1,), (0,), 0)]
+        label = subgroup_coset_label(group, hidden)
+        subgroup = set(generate_subgroup_elements(group, hidden))
+        labels = {label(g) for g in group.element_list()}
+        assert len(labels) == group.order() // len(subgroup)
+
+
+class TestHSPInstance:
+    def test_from_subgroup_and_verify(self, rng):
+        group = extraspecial_group(3)
+        hidden = [((1,), (1,), 0)]
+        instance = HSPInstance.from_subgroup(group, hidden, promises={"commutator_bound": 3})
+        assert instance.verify(hidden)
+        assert instance.verify(generate_subgroup_elements(group, hidden))
+        assert not instance.verify([((0,), (1,), 0)])
+        assert instance.promises["commutator_bound"] == 3
+
+    def test_verify_requires_ground_truth(self):
+        group = AbelianTupleGroup([4])
+        oracle = hiding_oracle_from_subgroup(group, [(2,)])
+        instance = HSPInstance(group=BlackBoxGroup(group), oracle=oracle, hidden_generators=None)
+        with pytest.raises(ValueError):
+            instance.verify([(2,)])
+
+    def test_query_report_merges_counters(self):
+        group = AbelianTupleGroup([6])
+        instance = HSPInstance.from_subgroup(group, [(2,)])
+        instance.oracle((1,))
+        instance.group.multiply((1,), (2,))
+        report = instance.query_report()
+        assert report["classical_queries"] == 1
+        assert report["group_multiplications"] == 1
+
+    def test_random_abelian_instance(self, rng):
+        instance = random_abelian_hsp_instance([16, 9], rng)
+        assert instance.verify(instance.hidden_generators)
+        # the oracle is constant on the hidden subgroup
+        label0 = instance.oracle((0, 0))
+        for g in instance.hidden_generators:
+            assert instance.oracle(tuple(g)) == label0

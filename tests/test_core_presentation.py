@@ -1,0 +1,106 @@
+"""Tests for Abelian factor-group presentations and their relator properties."""
+
+import pytest
+
+from repro.blackbox.instances import hiding_oracle_from_subgroup
+from repro.core.factor_group import HiddenQuotient
+from repro.core.presentation import AbelianPresentation
+from repro.groups.abelian import AbelianTupleGroup
+from repro.groups.extraspecial import extraspecial_group
+from repro.groups.perm import alternating_group, symmetric_group
+from repro.groups.products import dihedral_semidirect, wreath_product_z2
+from repro.groups.subgroup import generate_subgroup_elements, make_membership_tester, normal_closure
+from repro.quantum.sampling import FourierSampler
+
+
+class TestAbelianPresentationObject:
+    def test_quotient_order_without_relations(self):
+        presentation = AbelianPresentation(generators=[(1,)], orders=[6], relation_vectors=[])
+        assert presentation.quotient_order() == 6
+        assert presentation.rank == 1
+
+    def test_quotient_order_with_relations(self):
+        # Z_4 x Z_4 modulo the relation (2, 2) has order 8.
+        presentation = AbelianPresentation(
+            generators=[(1, 0), (0, 1)], orders=[4, 4], relation_vectors=[(2, 2)]
+        )
+        assert presentation.quotient_order() == 8
+
+    def test_power_relators_include_order_relators(self):
+        group = AbelianTupleGroup([8, 9])
+        presentation = AbelianPresentation(generators=[(1, 0), (0, 1)], orders=[2, 3], relation_vectors=[])
+        relators = presentation.substituted_power_relators(group)
+        assert (2, 0) in relators and (0, 3) in relators
+
+    def test_commutator_relators_empty_for_commuting_lifts(self):
+        group = AbelianTupleGroup([4, 4])
+        presentation = AbelianPresentation(generators=[(1, 0), (0, 1)], orders=[4, 4])
+        assert presentation.substituted_commutator_relators(group) == []
+
+    def test_commutator_relators_nontrivial_for_noncommuting_lifts(self):
+        group = extraspecial_group(3)
+        x, y = group.generators()
+        presentation = AbelianPresentation(generators=[x, y], orders=[3, 3])
+        commutators = presentation.substituted_commutator_relators(group)
+        assert len(commutators) == 1
+        assert not group.is_identity(commutators[0])
+
+    def test_empty_presentation(self):
+        group = AbelianTupleGroup([5])
+        presentation = AbelianPresentation(generators=[], orders=[])
+        assert presentation.quotient_order() == 1
+        assert presentation.relator_elements(group) == []
+
+
+class TestPresentationsFromHiddenQuotients:
+    @pytest.mark.parametrize(
+        "group_builder,hidden_builder,expected_quotient_order",
+        [
+            (lambda: symmetric_group(4), lambda g: alternating_group(4).generators(), 2),
+            (lambda: dihedral_semidirect(9), lambda g: [g.embed_normal((1,))], 2),
+            (lambda: extraspecial_group(3), lambda g: g.center_generators(), 9),
+            (lambda: wreath_product_z2(2), lambda g: g.normal_part_generators(), 2),
+        ],
+    )
+    def test_relators_lie_in_hidden_subgroup(self, group_builder, hidden_builder, expected_quotient_order, rng):
+        group = group_builder()
+        hidden = hidden_builder(group)
+        oracle = hiding_oracle_from_subgroup(group, hidden)
+        quotient = HiddenQuotient(group, oracle)
+        presentation = quotient.abelian_presentation(sampler=FourierSampler(rng=rng))
+        assert presentation.quotient_order() == expected_quotient_order
+        member = make_membership_tester(group, hidden)
+        for relator in presentation.relator_elements(group):
+            assert member(relator)
+
+    def test_relator_normal_closure_recovers_subgroup(self, rng):
+        """The Theorem 8 core identity: <<relators>> = N for Abelian G/N."""
+        group = dihedral_semidirect(10)
+        hidden = [group.embed_normal((1,))]
+        oracle = hiding_oracle_from_subgroup(group, hidden)
+        quotient = HiddenQuotient(group, oracle)
+        presentation = quotient.abelian_presentation(sampler=FourierSampler(rng=rng))
+        relators = presentation.relator_elements(group)
+        # plus generators of G already in N (the S_0 correction of Theorem 8)
+        relators += [g for g in group.generators() if quotient.in_kernel(g) and not group.is_identity(g)]
+        closure = normal_closure(group, [r for r in relators if not group.is_identity(r)])
+        assert sorted(generate_subgroup_elements(group, closure)) == sorted(
+            generate_subgroup_elements(group, hidden)
+        )
+
+    def test_presentation_generators_exclude_kernel_elements(self, rng):
+        group = dihedral_semidirect(6)
+        oracle = hiding_oracle_from_subgroup(group, [group.embed_normal((1,))])
+        quotient = HiddenQuotient(group, oracle)
+        presentation = quotient.abelian_presentation(sampler=FourierSampler(rng=rng))
+        for generator in presentation.generators:
+            assert not quotient.in_kernel(generator)
+
+    def test_orders_match_quotient_orders(self, rng):
+        group = extraspecial_group(5)
+        oracle = hiding_oracle_from_subgroup(group, group.center_generators())
+        quotient = HiddenQuotient(group, oracle)
+        presentation = quotient.abelian_presentation(sampler=FourierSampler(rng=rng))
+        for generator, order in zip(presentation.generators, presentation.orders):
+            assert quotient.order_modulo(generator) == order
+            assert order == 5

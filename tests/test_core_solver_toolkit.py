@@ -1,0 +1,143 @@
+"""Tests for the top-level dispatcher (solve_hsp) and the Corollary 5 toolkit facade."""
+
+import numpy as np
+import pytest
+
+from repro.blackbox.instances import HSPInstance, hiding_oracle_from_subgroup
+from repro.core.beals_babai import BlackBoxToolkit
+from repro.core.solver import HSPSolution, solve_hsp
+from repro.groups.abelian import AbelianTupleGroup
+from repro.groups.base import GroupError
+from repro.groups.catalog import wreath_instance
+from repro.groups.extraspecial import extraspecial_group
+from repro.groups.perm import alternating_group, symmetric_group
+from repro.groups.products import dihedral_semidirect, metacyclic_group
+from repro.quantum.sampling import FourierSampler
+
+
+class TestSolveHspDispatch:
+    def test_abelian_strategy(self, rng):
+        group = AbelianTupleGroup([16, 9])
+        instance = HSPInstance.from_subgroup(group, [(4, 3)])
+        solution = solve_hsp(instance, rng=rng)
+        assert solution.strategy == "abelian"
+        assert instance.verify(solution.generators)
+
+    def test_small_commutator_strategy(self, rng):
+        group = extraspecial_group(5)
+        hidden = [group.uniform_random_element(rng)]
+        instance = HSPInstance.from_subgroup(
+            group, hidden, promises={"commutator_elements": group.commutator_subgroup_elements()}
+        )
+        solution = solve_hsp(instance, rng=rng)
+        assert solution.strategy == "small_commutator"
+        assert instance.verify(solution.generators or [group.identity()])
+
+    def test_default_strategy_is_small_commutator(self, rng):
+        group = dihedral_semidirect(6)
+        instance = HSPInstance.from_subgroup(group, [group.embed_quotient((1,))])
+        solution = solve_hsp(instance, rng=rng)
+        assert solution.strategy == "small_commutator"
+        assert instance.verify(solution.generators)
+
+    def test_elementary_abelian_two_strategy(self, rng):
+        group, normal_gens = wreath_instance(2)
+        instance = HSPInstance.from_subgroup(
+            group,
+            [group.uniform_random_element(rng)],
+            promises={"normal_generators": normal_gens, "cyclic_quotient": True},
+        )
+        solution = solve_hsp(instance, rng=rng)
+        assert solution.strategy == "elementary_abelian_two"
+        assert instance.verify(solution.generators or [group.identity()])
+
+    def test_hidden_normal_strategy(self, rng):
+        group = metacyclic_group(7, 3)
+        instance = HSPInstance.from_subgroup(
+            group, [group.embed_normal((1,))], promises={"hidden_is_normal": True}
+        )
+        solution = solve_hsp(instance, rng=rng)
+        assert solution.strategy == "hidden_normal"
+        assert instance.verify(solution.generators)
+
+    def test_explicit_classical_strategy(self, rng):
+        group = AbelianTupleGroup([6])
+        instance = HSPInstance.from_subgroup(group, [(3,)])
+        solution = solve_hsp(instance, strategy="classical", rng=rng)
+        assert solution.strategy == "classical"
+        assert instance.verify(solution.generators)
+
+    def test_unknown_strategy_rejected(self, rng):
+        instance = HSPInstance.from_subgroup(AbelianTupleGroup([4]), [(2,)])
+        with pytest.raises(GroupError):
+            solve_hsp(instance, strategy="quantum-annealing", rng=rng)
+
+    def test_missing_promise_rejected(self, rng):
+        instance = HSPInstance.from_subgroup(AbelianTupleGroup([4]), [(2,)])
+        with pytest.raises(GroupError):
+            solve_hsp(instance, strategy="elementary_abelian_two", rng=rng)
+
+    def test_solution_reports_cost(self, rng):
+        group = AbelianTupleGroup([32])
+        instance = HSPInstance.from_subgroup(group, [(8,)])
+        solution = solve_hsp(instance, rng=rng)
+        assert solution.elapsed_seconds >= 0
+        assert solution.query_report["quantum_queries"] > 0
+        assert list(iter(solution)) == solution.generators
+
+
+class TestBlackBoxToolkit:
+    def test_element_order_accounting(self):
+        toolkit = BlackBoxToolkit(AbelianTupleGroup([60]))
+        assert toolkit.element_order((12,)) == 5
+        assert toolkit.query_report()["order_oracle_calls"] == 1
+
+    def test_constructive_membership(self, rng):
+        toolkit = BlackBoxToolkit(AbelianTupleGroup([8, 9]), sampler=FourierSampler(rng=rng))
+        exponents = toolkit.constructive_membership([(2, 0), (0, 3)], (4, 6))
+        assert exponents is not None
+        assert toolkit.constructive_membership([(2, 0)], (1, 0)) is None
+
+    def test_abelian_decomposition_and_order(self, rng):
+        toolkit = BlackBoxToolkit(AbelianTupleGroup([4, 6]), sampler=FourierSampler(rng=rng))
+        assert toolkit.abelian_subgroup_order() == 24
+        decomposition = toolkit.abelian_decomposition()
+        assert sorted(decomposition.invariant_factors) == [2, 12]
+
+    def test_sylow_generators(self, rng):
+        toolkit = BlackBoxToolkit(AbelianTupleGroup([8, 9, 5]), sampler=FourierSampler(rng=rng))
+        sylow = toolkit.abelian_sylow_generators()
+        group = AbelianTupleGroup([8, 9, 5])
+        assert set(sylow) == {2, 3, 5}
+        for prime, generators in sylow.items():
+            for g in generators:
+                order = group.element_order(g)
+                assert order > 1 and order % prime == 0 and all(order % q for q in {2, 3, 5} - {prime})
+
+    def test_hidden_normal_subgroup(self, rng):
+        s4 = symmetric_group(4)
+        toolkit = BlackBoxToolkit(s4, sampler=FourierSampler(rng=rng))
+        oracle = hiding_oracle_from_subgroup(s4, alternating_group(4).generators())
+        result = toolkit.hidden_normal_subgroup(oracle)
+        from repro.groups.subgroup import subgroup_order
+
+        assert subgroup_order(s4, result.generators) == 12
+
+    def test_quotient_constructors(self):
+        group = dihedral_semidirect(9)
+        toolkit = BlackBoxToolkit(group)
+        oracle = hiding_oracle_from_subgroup(group, [group.embed_normal((1,))])
+        assert toolkit.hidden_quotient(oracle).order_modulo(group.embed_quotient((1,))) == 2
+        assert toolkit.generated_quotient([group.embed_normal((1,))]).order_modulo(group.embed_quotient((1,))) == 2
+
+    def test_structural_queries(self):
+        toolkit = BlackBoxToolkit(dihedral_semidirect(6))
+        assert toolkit.is_solvable()
+        assert len(toolkit.derived_series()) >= 2
+        center = toolkit.center_of_small_group()
+        assert len(center) == 2  # Z(D_6) = {1, r^3}
+
+    def test_center_size_limit(self):
+        toolkit = BlackBoxToolkit(AbelianTupleGroup([1 << 20]))
+        with pytest.raises(ValueError):
+            toolkit.center_of_small_group(max_order=100)

@@ -1,0 +1,228 @@
+"""Unit tests for the Abelian, matrix, extraspecial and product group families."""
+
+import numpy as np
+import pytest
+
+from repro.groups.abelian import AbelianTupleGroup, cyclic_group, elementary_abelian_group
+from repro.groups.base import GroupError
+from repro.groups.extraspecial import HeisenbergGroup, extraspecial_group
+from repro.groups.matrix import (
+    GFMatrixGroup,
+    affine_type_group,
+    heisenberg_matrix_group,
+    matrix_inverse_mod,
+    special_linear_generators,
+)
+from repro.groups.products import (
+    DirectProduct,
+    SemidirectProduct,
+    dihedral_semidirect,
+    generalized_dihedral,
+    metacyclic_group,
+    wreath_product_z2,
+)
+from repro.groups.subgroup import commutator_subgroup_generators, generate_subgroup_elements
+
+
+def check_group_axioms(group, rng, samples=8):
+    """Associativity, identity and inverse axioms on random samples."""
+    elements = [group.random_element(rng) for _ in range(samples)]
+    identity = group.identity()
+    for a in elements:
+        assert group.equal(group.multiply(a, identity), a)
+        assert group.equal(group.multiply(identity, a), a)
+        assert group.is_identity(group.multiply(a, group.inverse(a)))
+    for a, b, c in zip(elements, elements[1:], elements[2:]):
+        left = group.multiply(group.multiply(a, b), c)
+        right = group.multiply(a, group.multiply(b, c))
+        assert group.equal(left, right)
+
+
+class TestAbelianTupleGroup:
+    def test_order_and_generators(self):
+        group = AbelianTupleGroup([4, 6, 5])
+        assert group.order() == 120
+        assert len(group.generators()) == 3
+
+    def test_skips_trivial_factors_in_generators(self):
+        group = AbelianTupleGroup([1, 5])
+        assert group.generators() == [(0, 1)]
+
+    def test_axioms(self, rng):
+        check_group_axioms(AbelianTupleGroup([4, 9]), rng)
+
+    def test_power_uses_scalar(self):
+        group = AbelianTupleGroup([10])
+        assert group.power((3,), 7) == (1,)
+        assert group.power((3,), -1) == (7,)
+
+    def test_encode_decode(self):
+        group = AbelianTupleGroup([12, 7])
+        assert group.decode(group.encode((11, 3))) == (11, 3)
+
+    def test_subgroup_helpers(self):
+        group = AbelianTupleGroup([8, 9])
+        assert group.subgroup_order([(2, 0)]) == 4
+        assert group.subgroup_contains([(2, 0)], (6, 0))
+        assert not group.subgroup_contains([(2, 0)], (1, 0))
+
+    def test_factories(self):
+        assert cyclic_group(7).order() == 7
+        assert elementary_abelian_group(2, 5).order() == 32
+
+    def test_rejects_empty(self):
+        with pytest.raises(GroupError):
+            AbelianTupleGroup([])
+
+
+class TestHeisenbergGroup:
+    @pytest.mark.parametrize("p", [2, 3, 5])
+    def test_order(self, p):
+        group = HeisenbergGroup(p)
+        assert group.order() == p**3
+        assert len(group.element_list()) == p**3
+
+    def test_axioms(self, rng):
+        check_group_axioms(HeisenbergGroup(5), rng)
+        check_group_axioms(HeisenbergGroup(3, n=2), rng)
+
+    def test_extraspecial_structure(self):
+        group = HeisenbergGroup(5)
+        commutator_gens = commutator_subgroup_generators(group)
+        derived = generate_subgroup_elements(group, commutator_gens)
+        assert len(derived) == 5
+        assert set(derived) == set(group.commutator_subgroup_elements())
+
+    def test_center_is_commutator_subgroup(self):
+        group = HeisenbergGroup(3)
+        center = group.center_generators()
+        for z in center:
+            for g in group.generators():
+                assert group.equal(group.multiply(z, g), group.multiply(g, z))
+
+    def test_exponent_odd_p(self, rng):
+        group = HeisenbergGroup(7)
+        for _ in range(10):
+            g = group.uniform_random_element(rng)
+            assert group.is_identity(group.power(g, 7))
+
+    def test_nonabelian(self):
+        assert not HeisenbergGroup(3).is_abelian()
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(GroupError):
+            HeisenbergGroup(4)
+        with pytest.raises(GroupError):
+            HeisenbergGroup(3, 0)
+
+    def test_encode_decode(self):
+        group = extraspecial_group(3, 2)
+        element = ((1, 2), (0, 1), 2)
+        assert group.decode(group.encode(element)) == element
+
+
+class TestMatrixGroups:
+    def test_matrix_inverse_mod(self):
+        inv = matrix_inverse_mod([[1, 1], [0, 1]], 5)
+        assert inv.tolist() == [[1, 4], [0, 1]]
+
+    def test_matrix_inverse_singular(self):
+        with pytest.raises(GroupError):
+            matrix_inverse_mod([[1, 1], [1, 1]], 2)
+
+    @pytest.mark.parametrize("p", [3, 5])
+    def test_heisenberg_matrix_group_order(self, p):
+        group = heisenberg_matrix_group(p)
+        assert len(group.element_list()) == p**3
+
+    def test_axioms(self, rng):
+        check_group_axioms(heisenberg_matrix_group(3), rng)
+
+    def test_sl2_order(self):
+        group = special_linear_generators(3)
+        assert len(group.element_list()) == 24  # |SL(2,3)|
+
+    def test_affine_type_structure(self):
+        group = affine_type_group(3)
+        elements = group.element_list()
+        # |G| = |N| * |G/N| where N is the translation subgroup spanned by the
+        # orbit of e_1 under the block and G/N is generated by the block.
+        assert len(elements) % 2 == 0
+        for m in group.generators():
+            arr = np.array(m)
+            assert arr.shape == (4, 4)
+            assert arr[3, 3] == 1
+
+    def test_affine_rejects_bad_input(self):
+        with pytest.raises(GroupError):
+            affine_type_group(0)
+        with pytest.raises(GroupError):
+            affine_type_group(2, translations=[[1]])
+
+    def test_requires_prime_modulus(self):
+        with pytest.raises(GroupError):
+            GFMatrixGroup([[[1, 0], [0, 1]]], 4)
+
+    def test_encode_decode(self):
+        group = heisenberg_matrix_group(3)
+        g = group.generators()[0]
+        assert group.decode(group.encode(g)) == g
+
+
+class TestProducts:
+    def test_direct_product_order_and_axioms(self, rng):
+        product = DirectProduct([cyclic_group(4), cyclic_group(6)])
+        assert product.order() == 24
+        check_group_axioms(product, rng)
+
+    def test_direct_product_generators(self):
+        product = DirectProduct([cyclic_group(4), cyclic_group(6)])
+        assert len(product.generators()) == 2
+
+    def test_dihedral_semidirect(self, rng):
+        group = dihedral_semidirect(9)
+        assert len(group.element_list()) == 18
+        check_group_axioms(group, rng)
+        r = group.embed_normal((1,))
+        s = group.embed_quotient((1,))
+        assert group.conjugate(s, r) == group.inverse(r)
+
+    def test_metacyclic(self, rng):
+        group = metacyclic_group(7, 3)
+        assert len(group.element_list()) == 21
+        check_group_axioms(group, rng)
+        assert not group.is_abelian()
+
+    def test_metacyclic_rejects_bad_q(self):
+        with pytest.raises(GroupError):
+            metacyclic_group(7, 4)
+
+    def test_wreath_product(self, rng):
+        group = wreath_product_z2(2)
+        assert len(group.element_list()) == 32
+        check_group_axioms(group, rng)
+        # the swap element conjugates a base vector to its swapped version
+        swap = group.embed_quotient((1,))
+        vector = group.embed_normal((1, 0, 0, 0))
+        conjugated = group.conjugate(swap, vector)
+        assert conjugated == group.embed_normal((0, 0, 1, 0))
+
+    def test_generalized_dihedral(self, rng):
+        group = generalized_dihedral([3, 3])
+        assert len(group.element_list()) == 18
+        check_group_axioms(group, rng)
+
+    def test_exponent_bound_is_multiple_of_orders(self, rng):
+        for group in [dihedral_semidirect(6), wreath_product_z2(2), metacyclic_group(5, 2)]:
+            bound = group.exponent_bound()
+            for _ in range(8):
+                g = group.random_element(rng)
+                assert bound % group.element_order(g, bound) == 0
+
+    def test_embeddings(self):
+        group = wreath_product_z2(2)
+        n = group.embed_normal((1, 1, 0, 0))
+        k = group.embed_quotient((1,))
+        assert n[1] == (0,)
+        assert k[0] == (0, 0, 0, 0)
+        assert len(group.normal_part_generators()) == 4

@@ -1,0 +1,285 @@
+"""Unit tests for subgroup machinery, series, quotients and the catalogue."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.groups.abelian import AbelianTupleGroup, cyclic_group
+from repro.groups.base import GroupError
+from repro.groups.catalog import (
+    affine_gf2_instance,
+    dihedral_instance,
+    elementary_abelian_semidirect_instance,
+    heisenberg_instance,
+    metacyclic_instance,
+    named_group,
+    wreath_instance,
+)
+from repro.groups.extraspecial import extraspecial_group
+from repro.groups.perm import alternating_group, dihedral_group, symmetric_group
+from repro.groups.products import dihedral_semidirect, metacyclic_group, wreath_product_z2
+from repro.groups.quotient import QuotientGroup
+from repro.groups.series import (
+    composition_factor_orders,
+    derived_series,
+    is_solvable,
+    polycyclic_series,
+    solvable_length,
+)
+from repro.groups.subgroup import (
+    SubgroupView,
+    center_elements,
+    commutator_subgroup_generators,
+    coset_representative_map,
+    generate_subgroup_elements,
+    is_normal_subgroup,
+    is_subgroup_member,
+    left_transversal,
+    make_membership_tester,
+    normal_closure,
+    subgroup_order,
+)
+
+
+class TestSubgroupClosure:
+    def test_generate_subgroup_elements(self):
+        group = dihedral_semidirect(6)
+        rotation = group.embed_normal((1,))
+        assert len(generate_subgroup_elements(group, [rotation])) == 6
+
+    def test_limit_enforced(self):
+        group = AbelianTupleGroup([100])
+        with pytest.raises(GroupError):
+            generate_subgroup_elements(group, [(1,)], limit=10)
+
+    def test_subgroup_order_fast_paths(self):
+        perm = symmetric_group(5)
+        assert subgroup_order(perm, alternating_group(5).generators()) == 60
+        abelian = AbelianTupleGroup([8, 9])
+        assert subgroup_order(abelian, [(2, 0)]) == 4
+        heis = extraspecial_group(3)
+        assert subgroup_order(heis, heis.center_generators()) == 3
+
+    def test_membership_tester_dispatch(self):
+        perm = symmetric_group(4)
+        member = make_membership_tester(perm, alternating_group(4).generators())
+        assert member((1, 2, 0, 3))
+        assert not member((1, 0, 2, 3))
+
+        abelian = AbelianTupleGroup([9])
+        member = make_membership_tester(abelian, [(3,)])
+        assert member((6,)) and not member((1,))
+
+        heis = extraspecial_group(3)
+        member = make_membership_tester(heis, heis.center_generators())
+        assert member(((0,), (0,), 2))
+        assert not member(((1,), (0,), 0))
+
+    def test_trivial_membership_tester(self):
+        perm = symmetric_group(3)
+        member = make_membership_tester(perm, [])
+        assert member(perm.identity())
+        assert not member((1, 0, 2))
+
+    def test_is_subgroup_member(self):
+        group = cyclic_group(12)
+        assert is_subgroup_member(group, [(4,)], (8,))
+        assert not is_subgroup_member(group, [(4,)], (2,))
+
+
+class TestNormalClosure:
+    def test_normal_closure_in_symmetric_group(self):
+        s4 = symmetric_group(4)
+        # The normal closure of a transposition in S_4 is all of S_4.
+        closure = normal_closure(s4, [(1, 0, 2, 3)])
+        assert subgroup_order(s4, closure) == 24
+
+    def test_normal_closure_in_dihedral(self):
+        group = dihedral_semidirect(10)
+        rotation_square = group.embed_normal((2,))
+        closure = normal_closure(group, [rotation_square])
+        assert is_normal_subgroup(group, closure)
+        assert len(generate_subgroup_elements(group, closure)) == 5
+
+    def test_normal_closure_of_identity(self):
+        group = dihedral_semidirect(5)
+        assert normal_closure(group, [group.identity()]) == []
+
+    def test_commutator_subgroup(self):
+        group = dihedral_semidirect(7)
+        derived = commutator_subgroup_generators(group)
+        assert len(generate_subgroup_elements(group, derived)) == 7
+        heis = extraspecial_group(5)
+        assert len(generate_subgroup_elements(heis, commutator_subgroup_generators(heis))) == 5
+
+    def test_commutator_subgroup_of_abelian_is_trivial(self):
+        assert commutator_subgroup_generators(AbelianTupleGroup([6, 10])) == []
+
+    def test_is_normal_subgroup(self):
+        s4 = symmetric_group(4)
+        assert is_normal_subgroup(s4, alternating_group(4).generators())
+        assert not is_normal_subgroup(s4, [(1, 0, 2, 3)])
+
+
+class TestTransversalsAndCenters:
+    def test_left_transversal_size(self):
+        group = dihedral_semidirect(6)
+        rotation = group.embed_normal((1,))
+        transversal = left_transversal(group, [rotation])
+        assert len(transversal) == 2
+
+    def test_left_transversal_limit(self):
+        group = AbelianTupleGroup([16])
+        with pytest.raises(GroupError):
+            left_transversal(group, [(0,)], max_index=4)
+
+    def test_center_of_heisenberg(self):
+        group = extraspecial_group(3)
+        center = center_elements(group)
+        assert len(center) == 3
+
+    def test_center_of_abelian_group_is_everything(self):
+        group = AbelianTupleGroup([2, 3])
+        assert len(center_elements(group)) == 6
+
+    def test_coset_representative_map_constant_on_cosets(self):
+        group = dihedral_semidirect(5)
+        subgroup = generate_subgroup_elements(group, [group.embed_normal((1,))])
+        label = coset_representative_map(group, subgroup)
+        r = group.embed_normal((2,))
+        s = group.embed_quotient((1,))
+        assert label(r) == label(group.identity())
+        assert label(s) != label(group.identity())
+
+    def test_subgroup_view_delegates(self):
+        group = symmetric_group(4)
+        view = SubgroupView(group, alternating_group(4).generators())
+        assert view.identity() == group.identity()
+        assert len(view.generators()) == 2
+        assert view.exponent_bound() == group.exponent_bound()
+
+
+class TestSeries:
+    def test_derived_series_of_s4(self):
+        s4 = symmetric_group(4)
+        series = derived_series(s4)
+        orders = [subgroup_order(s4, gens) if gens else 1 for gens in series]
+        assert orders[:4] == [24, 12, 4, 1]
+
+    def test_derived_series_stabilises_for_perfect_quotient(self):
+        a5 = alternating_group(5)
+        series = derived_series(a5)
+        assert subgroup_order(a5, series[-1]) == 60  # A_5 is perfect
+
+    @pytest.mark.parametrize(
+        "group,expected",
+        [
+            (dihedral_semidirect(9), True),
+            (metacyclic_group(7, 3), True),
+            (extraspecial_group(3), True),
+            (wreath_product_z2(2), True),
+            (symmetric_group(4), True),
+            (alternating_group(5), False),
+            (symmetric_group(5), False),
+        ],
+    )
+    def test_is_solvable(self, group, expected):
+        assert is_solvable(group) is expected
+
+    def test_solvable_length(self):
+        assert solvable_length(AbelianTupleGroup([12])) == 1
+        assert solvable_length(dihedral_semidirect(5)) == 2
+        assert solvable_length(symmetric_group(4)) == 3
+        with pytest.raises(GroupError):
+            solvable_length(alternating_group(5))
+
+    @pytest.mark.parametrize(
+        "group,order",
+        [
+            (dihedral_semidirect(6), 12),
+            (metacyclic_group(5, 2), 10),
+            (extraspecial_group(3), 27),
+            (symmetric_group(4), 24),
+        ],
+    )
+    def test_composition_factor_orders(self, group, order):
+        primes = composition_factor_orders(group)
+        assert math.prod(primes) == order
+        from repro.linalg.modular import is_probable_prime
+
+        assert all(is_probable_prime(p) for p in primes)
+
+    def test_polycyclic_series_product(self):
+        group = extraspecial_group(3)
+        series = polycyclic_series(group)
+        assert math.prod(p for _, p in series) == 27
+
+    def test_polycyclic_series_requires_solvable(self):
+        with pytest.raises(GroupError):
+            polycyclic_series(alternating_group(5))
+
+
+class TestQuotientGroup:
+    def test_quotient_of_dihedral_by_rotations(self):
+        group = dihedral_semidirect(7)
+        quotient = QuotientGroup(group, [group.embed_normal((1,))])
+        assert quotient.order() == 2
+        assert len(quotient.element_list()) == 2
+
+    def test_quotient_requires_normal(self):
+        s4 = symmetric_group(4)
+        with pytest.raises(GroupError):
+            QuotientGroup(s4, [(1, 0, 2, 3)])
+
+    def test_natural_map_is_homomorphism(self, rng):
+        group = dihedral_semidirect(6)
+        quotient = QuotientGroup(group, [group.embed_normal((2,))])
+        project = quotient.natural_map()
+        for _ in range(10):
+            a = group.random_element(rng)
+            b = group.random_element(rng)
+            assert project(group.multiply(a, b)) == quotient.multiply(project(a), project(b))
+
+    def test_quotient_of_s4_by_a4(self):
+        s4 = symmetric_group(4)
+        quotient = QuotientGroup(s4, alternating_group(4).generators())
+        assert quotient.order() == 2
+
+
+class TestCatalog:
+    def test_wreath_instance(self):
+        group, normal_gens = wreath_instance(3)
+        assert group.order() == 2**7
+        assert len(normal_gens) == 6
+
+    def test_affine_instance_normal_subgroup(self):
+        group, normal_gens = affine_gf2_instance(3)
+        assert is_normal_subgroup(group, normal_gens)
+        for n in generate_subgroup_elements(group, normal_gens):
+            assert group.is_identity(group.multiply(n, n))
+
+    def test_elementary_abelian_semidirect(self):
+        group, normal_gens = elementary_abelian_semidirect_instance(4, "V4")
+        assert is_normal_subgroup(group, normal_gens)
+        group_s3, _ = elementary_abelian_semidirect_instance(3, "S3")
+        assert len(group_s3.element_list()) == 48
+        with pytest.raises(GroupError):
+            elementary_abelian_semidirect_instance(2, "S3")
+        with pytest.raises(GroupError):
+            elementary_abelian_semidirect_instance(4, "unknown")
+
+    def test_named_group_lookup(self):
+        assert named_group("cyclic", n=12).order() == 12
+        assert named_group("heisenberg", p=3).order() == 27
+        assert named_group("dihedral", n=5).order() == 10
+        assert named_group("symmetric", n=4).order() == 24
+        assert named_group("wreath", k=2).order() == 32
+        assert named_group("metacyclic", p=7, q=3).order() == 21
+        with pytest.raises(GroupError):
+            named_group("no-such-family")
+
+    def test_other_factories(self):
+        assert heisenberg_instance(5).order() == 125
+        assert dihedral_instance(6, as_permutation=True).order() == 12
+        assert metacyclic_instance(13, 3).order() == 39

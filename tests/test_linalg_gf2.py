@@ -1,0 +1,110 @@
+"""Unit tests for GF(2) linear algebra."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.gf2 import (
+    GF2Matrix,
+    gf2_nullspace,
+    gf2_rank,
+    gf2_rref,
+    gf2_solve,
+    gf2_span_contains,
+    gf2_random_full_rank,
+)
+
+
+class TestElimination:
+    def test_rref_identity(self):
+        rref, pivots = gf2_rref(np.eye(3, dtype=np.uint8))
+        assert pivots == [0, 1, 2]
+        assert np.array_equal(rref, np.eye(3, dtype=np.uint8))
+
+    def test_rank_with_dependent_rows(self):
+        assert gf2_rank([[1, 0, 1], [0, 1, 1], [1, 1, 0]]) == 2
+
+    def test_rank_zero_matrix(self):
+        assert gf2_rank([[0, 0], [0, 0]]) == 0
+
+    def test_entries_reduced_mod_2(self):
+        assert gf2_rank([[2, 4], [6, 8]]) == 0
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_nullspace_annihilates(self, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.integers(0, 2, size=(4, 6), dtype=np.uint8)
+        basis = gf2_nullspace(a)
+        assert basis.shape[0] == 6 - gf2_rank(a)
+        for vec in basis:
+            assert not ((a @ vec) % 2).any()
+
+    def test_nullspace_dimension_full_rank(self):
+        assert gf2_nullspace(np.eye(4, dtype=np.uint8)).shape[0] == 0
+
+
+class TestSolve:
+    def test_solve_consistent(self):
+        a = [[1, 0, 1], [0, 1, 1]]
+        b = [1, 0]
+        x = gf2_solve(a, b)
+        assert x is not None
+        assert np.array_equal((np.array(a) @ x) % 2, np.array(b))
+
+    def test_solve_inconsistent(self):
+        a = [[1, 1], [1, 1]]
+        assert gf2_solve(a, [0, 1]) is None
+
+    def test_solve_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            gf2_solve([[1, 0]], [1, 0])
+
+    def test_span_contains(self):
+        rows = [[1, 0, 1], [0, 1, 1]]
+        assert gf2_span_contains(rows, [1, 1, 0])
+        assert not gf2_span_contains(rows, [0, 0, 1])
+
+    def test_span_contains_empty(self):
+        assert gf2_span_contains([], [0, 0])
+        assert not gf2_span_contains([], [1, 0])
+
+
+class TestGF2Matrix:
+    def test_rank_and_shape(self):
+        mat = GF2Matrix([[1, 0, 1], [0, 1, 1], [1, 1, 0]])
+        assert mat.shape == (3, 3)
+        assert mat.rank == 2
+
+    def test_empty_requires_ncols(self):
+        with pytest.raises(ValueError):
+            GF2Matrix([])
+        empty = GF2Matrix([], ncols=4)
+        assert empty.shape == (0, 4)
+        assert empty.span_contains([0, 0, 0, 0])
+        assert not empty.span_contains([1, 0, 0, 0])
+
+    def test_matmul_and_apply(self):
+        a = GF2Matrix([[1, 1], [0, 1]])
+        b = GF2Matrix([[1, 0], [1, 1]])
+        product = a.matmul(b)
+        assert product.array.tolist() == [[0, 1], [1, 1]]
+        assert a.apply([1, 1]).tolist() == [0, 1]
+
+    def test_stack_grows_span(self):
+        mat = GF2Matrix([[1, 0, 0]])
+        grown = mat.stack([0, 1, 0])
+        assert grown.rank == 2
+        assert grown.span_contains([1, 1, 0])
+
+    def test_row_basis_equality(self):
+        a = GF2Matrix([[1, 0, 1], [0, 1, 1]])
+        b = GF2Matrix([[1, 1, 0], [0, 1, 1], [1, 0, 1]])
+        assert a == b
+
+    def test_identity_and_zeros(self):
+        assert GF2Matrix.identity(3).rank == 3
+        assert GF2Matrix.zeros(2, 3).rank == 0
+
+    def test_random_full_rank(self):
+        rng = np.random.default_rng(3)
+        mat = gf2_random_full_rank(5, rng)
+        assert gf2_rank(mat) == 5

@@ -1,0 +1,156 @@
+"""Unit tests for repro.linalg.modular (number theory primitives)."""
+
+import math
+
+import pytest
+
+from repro.linalg.modular import (
+    crt,
+    crt_pair,
+    discrete_log,
+    divisors,
+    egcd,
+    element_order_from_exponent,
+    euler_phi,
+    factorint,
+    is_probable_prime,
+    lcm,
+    lcm_list,
+    modinv,
+    multiplicative_order,
+    next_prime,
+    primitive_root,
+)
+
+
+class TestEgcdAndInverse:
+    @pytest.mark.parametrize("a,b", [(12, 18), (35, 64), (0, 7), (7, 0), (-15, 25), (1, 1)])
+    def test_egcd_identity(self, a, b):
+        g, x, y = egcd(a, b)
+        assert g == math.gcd(a, b)
+        assert a * x + b * y == g
+
+    def test_egcd_nonnegative_gcd(self):
+        g, _, _ = egcd(-12, -18)
+        assert g == 6
+
+    @pytest.mark.parametrize("a,m", [(3, 7), (10, 17), (5, 12), (7, 101)])
+    def test_modinv(self, a, m):
+        inv = modinv(a, m)
+        assert (a * inv) % m == 1
+        assert 0 <= inv < m
+
+    def test_modinv_not_invertible(self):
+        with pytest.raises(ValueError):
+            modinv(6, 9)
+
+    def test_lcm_values(self):
+        assert lcm(4, 6) == 12
+        assert lcm(0, 5) == 0
+        assert lcm_list([2, 3, 4]) == 12
+        assert lcm_list([]) == 1
+
+
+class TestCrt:
+    def test_crt_pair_coprime(self):
+        r, m = crt_pair(2, 3, 3, 5)
+        assert m == 15 and r % 3 == 2 and r % 5 == 3
+
+    def test_crt_pair_non_coprime_compatible(self):
+        r, m = crt_pair(2, 4, 6, 8)
+        assert m == 8 and r % 4 == 2 and r % 8 == 6
+
+    def test_crt_pair_incompatible(self):
+        with pytest.raises(ValueError):
+            crt_pair(1, 4, 2, 8)
+
+    def test_crt_many(self):
+        r, m = crt([1, 2, 3], [5, 7, 9])
+        assert m == 315
+        assert r % 5 == 1 and r % 7 == 2 and r % 9 == 3
+
+    def test_crt_length_mismatch(self):
+        with pytest.raises(ValueError):
+            crt([1, 2], [3])
+
+
+class TestPrimality:
+    @pytest.mark.parametrize("p", [2, 3, 5, 7, 97, 7919, 104729, 2**31 - 1])
+    def test_primes_detected(self, p):
+        assert is_probable_prime(p)
+
+    @pytest.mark.parametrize("n", [0, 1, 4, 561, 1105, 2821, 6601, 2**32 + 1])
+    def test_composites_rejected(self, n):
+        assert not is_probable_prime(n)
+
+    def test_next_prime(self):
+        assert next_prime(1) == 2
+        assert next_prime(2) == 3
+        assert next_prime(100) == 101
+        assert next_prime(7918) == 7919
+
+
+class TestFactorisation:
+    @pytest.mark.parametrize(
+        "n",
+        [2, 12, 97, 360, 1024, 104729 * 7919, 2**20 - 1, 600851475143],
+    )
+    def test_factorint_reconstructs(self, n):
+        factors = factorint(n)
+        product = 1
+        for p, e in factors.items():
+            assert is_probable_prime(p)
+            product *= p**e
+        assert product == n
+
+    def test_factorint_one(self):
+        assert factorint(1) == {}
+
+    def test_factorint_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            factorint(0)
+
+    def test_divisors(self):
+        assert divisors(12) == [1, 2, 3, 4, 6, 12]
+        assert divisors(1) == [1]
+
+    def test_euler_phi(self):
+        assert euler_phi(1) == 1
+        assert euler_phi(12) == 4
+        assert euler_phi(97) == 96
+
+
+class TestOrdersAndLogs:
+    @pytest.mark.parametrize("a,m,expected", [(2, 7, 3), (3, 7, 6), (2, 15, 4), (7, 100, 4)])
+    def test_multiplicative_order(self, a, m, expected):
+        assert multiplicative_order(a, m) == expected
+
+    def test_multiplicative_order_non_unit(self):
+        with pytest.raises(ValueError):
+            multiplicative_order(6, 9)
+
+    def test_element_order_from_exponent(self):
+        # Order of 4 in Z_12 (additive): exponent 12, true order 3.
+        order = element_order_from_exponent(lambda k: (4 * k) % 12, lambda x: x == 0, 12)
+        assert order == 3
+
+    def test_primitive_root_generates(self):
+        for p in [3, 7, 11, 23, 101]:
+            g = primitive_root(p)
+            assert multiplicative_order(g, p) == p - 1
+
+    def test_primitive_root_requires_prime(self):
+        with pytest.raises(ValueError):
+            primitive_root(12)
+
+    @pytest.mark.parametrize("p", [11, 101, 1009])
+    def test_discrete_log_roundtrip(self, p):
+        g = primitive_root(p)
+        for x in [1, 5, p // 2, p - 2]:
+            target = pow(g, x, p)
+            assert discrete_log(g, target, p) == x % (p - 1)
+
+    def test_discrete_log_missing(self):
+        # 2 generates a proper subgroup of Z_7^*; 3 is outside it.
+        with pytest.raises(ValueError):
+            discrete_log(2, 3, 7)

@@ -1,0 +1,144 @@
+"""Unit tests for Smith/Hermite normal forms and integer kernels."""
+
+import random
+
+import pytest
+
+from repro.linalg.hermite import (
+    hermite_normal_form,
+    integer_kernel,
+    lattice_index,
+    row_space_contains,
+)
+from repro.linalg.smith import diagonal_of_snf, smith_normal_form, unimodular_inverse
+
+
+def matmul(a, b):
+    return [[sum(a[i][k] * b[k][j] for k in range(len(b))) for j in range(len(b[0]))] for i in range(len(a))]
+
+
+def det(matrix):
+    n = len(matrix)
+    if n == 1:
+        return matrix[0][0]
+    total = 0
+    for j in range(n):
+        minor = [row[:j] + row[j + 1 :] for row in matrix[1:]]
+        total += ((-1) ** j) * matrix[0][j] * det(minor)
+    return total
+
+
+class TestSmithNormalForm:
+    def test_simple_diagonal(self):
+        d, u, v = smith_normal_form([[2, 0], [0, 3]])
+        assert diagonal_of_snf([[2, 0], [0, 3]]) == [1, 6]
+        assert matmul(matmul(u, [[2, 0], [0, 3]]), v) == d
+
+    def test_known_invariant_factors(self):
+        # Z_4 x Z_6 ~ Z_2 x Z_12
+        assert diagonal_of_snf([[4, 0], [0, 6]]) == [2, 12]
+
+    def test_zero_matrix(self):
+        d, u, v = smith_normal_form([[0, 0], [0, 0]])
+        assert d == [[0, 0], [0, 0]]
+
+    def test_rectangular(self):
+        a = [[2, 4, 4]]
+        d, u, v = smith_normal_form(a)
+        assert matmul(matmul(u, a), v) == d
+        assert d[0][0] == 2
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_matrices_satisfy_uav_equals_d(self, seed):
+        rnd = random.Random(seed)
+        m, n = rnd.randint(1, 5), rnd.randint(1, 5)
+        a = [[rnd.randint(-10, 10) for _ in range(n)] for _ in range(m)]
+        d, u, v = smith_normal_form(a)
+        assert matmul(matmul(u, a), v) == d
+        # Unimodularity of the transforms.
+        assert abs(det(u)) == 1
+        assert abs(det(v)) == 1
+        # Divisibility chain.
+        diag = [d[i][i] for i in range(min(m, n))]
+        for x, y in zip(diag, diag[1:]):
+            if x != 0:
+                assert y % x == 0 or y == 0
+            else:
+                assert y == 0
+        assert all(x >= 0 for x in diag)
+
+    def test_unimodular_inverse_roundtrip(self):
+        rnd = random.Random(5)
+        for _ in range(10):
+            n = rnd.randint(1, 4)
+            a = [[rnd.randint(-6, 6) for _ in range(n)] for _ in range(n)]
+            _, u, _ = smith_normal_form(a)
+            u_inv = unimodular_inverse(u)
+            identity = [[1 if i == j else 0 for j in range(n)] for i in range(n)]
+            assert matmul(u, u_inv) == identity
+
+    def test_unimodular_inverse_rejects_singular(self):
+        with pytest.raises(ValueError):
+            unimodular_inverse([[1, 1], [1, 1]])
+
+    def test_unimodular_inverse_rejects_non_unimodular(self):
+        with pytest.raises(ValueError):
+            unimodular_inverse([[2, 0], [0, 1]])
+
+
+class TestHermiteNormalForm:
+    def test_canonical_for_equal_lattices(self):
+        a = [[2, 0], [0, 3]]
+        b = [[2, 3], [2, 0], [4, 3]]
+        assert hermite_normal_form(a) == hermite_normal_form(b)
+
+    def test_removes_zero_rows(self):
+        hnf = hermite_normal_form([[1, 2], [2, 4]])
+        assert hnf == [[1, 2]]
+
+    def test_empty(self):
+        assert hermite_normal_form([]) == []
+
+    def test_pivots_positive_and_reduced(self):
+        hnf = hermite_normal_form([[4, 1], [0, 3]])
+        pivots = []
+        for row in hnf:
+            pivot_col = next(j for j, x in enumerate(row) if x)
+            pivots.append((pivot_col, row[pivot_col]))
+            assert row[pivot_col] > 0
+        # entries above each pivot reduced modulo the pivot
+        for i, (col, value) in enumerate(pivots):
+            for upper in hnf[:i]:
+                assert 0 <= upper[col] < value
+
+    def test_row_space_contains(self):
+        basis = [[2, 0], [0, 3]]
+        assert row_space_contains(basis, [4, 3])
+        assert not row_space_contains(basis, [1, 0])
+
+
+class TestIntegerKernel:
+    def test_kernel_of_dependent_rows(self):
+        kernel = integer_kernel([[1, 2], [2, 4]])
+        assert len(kernel) == 1
+        x = kernel[0]
+        assert x[0] + 2 * x[1] == 0
+
+    def test_full_rank_has_trivial_kernel(self):
+        assert integer_kernel([[1, 0], [0, 1]]) == []
+
+    def test_kernel_vectors_annihilate(self):
+        rnd = random.Random(9)
+        for _ in range(10):
+            m, n = rnd.randint(1, 4), rnd.randint(1, 5)
+            a = [[rnd.randint(-5, 5) for _ in range(n)] for _ in range(m)]
+            for vec in integer_kernel(a):
+                assert all(sum(a[i][j] * vec[j] for j in range(n)) == 0 for i in range(m))
+
+    def test_lattice_index(self):
+        assert lattice_index([[2, 0], [0, 3]]) == 6
+        assert lattice_index([[1, 0], [0, 1]]) == 1
+
+    def test_lattice_index_rank_deficient(self):
+        with pytest.raises(ValueError):
+            lattice_index([[1, 2]])

@@ -1,0 +1,205 @@
+"""Unit tests for subgroup arithmetic in Z_{s1} x ... x Z_{sr}."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.linalg.zmodule import (
+    ZModule,
+    annihilator,
+    canonical_generators,
+    coset_representative,
+    cyclic_decomposition,
+    kernel_mod,
+    member_coefficients,
+    reduce_element,
+    subgroup_contains,
+    subgroup_order,
+)
+
+
+class TestZModuleBasics:
+    def test_order_and_exponent(self):
+        module = ZModule([4, 6, 5])
+        assert module.order == 120
+        assert module.exponent == 60
+        assert module.rank == 3
+
+    def test_arithmetic(self):
+        module = ZModule([4, 6])
+        assert module.add((3, 5), (2, 2)) == (1, 1)
+        assert module.neg((1, 2)) == (3, 4)
+        assert module.sub((0, 0), (1, 1)) == (3, 5)
+        assert module.scalar(5, (1, 1)) == (1, 5)
+
+    def test_element_order(self):
+        module = ZModule([4, 6])
+        assert module.element_order((0, 0)) == 1
+        assert module.element_order((2, 3)) == 2
+        assert module.element_order((1, 1)) == 12
+
+    def test_elements_enumeration(self):
+        module = ZModule([2, 3])
+        assert sorted(module.elements()) == [(i, j) for i in range(2) for j in range(3)]
+
+    def test_requires_positive_moduli(self):
+        with pytest.raises(ValueError):
+            ZModule([4, 0])
+
+    def test_pairing_phase(self):
+        module = ZModule([4, 6])
+        num, den = module.pairing_phase((1, 0), (2, 0))
+        assert den == 12 and num == 6  # 1*2/4 = 1/2 turn
+
+    def test_random_element_in_range(self):
+        module = ZModule([4, 6, 5])
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            x = module.random_element(rng)
+            assert all(0 <= v < m for v, m in zip(x, module.moduli))
+
+
+class TestSubgroupArithmetic:
+    def test_subgroup_order_matches_enumeration(self):
+        module = ZModule([4, 6, 5])
+        gens = [(2, 0, 0), (0, 3, 0)]
+        assert subgroup_order(gens, module.moduli) == len(module.subgroup_elements(gens)) == 4
+
+    def test_trivial_subgroup(self):
+        assert subgroup_order([], [4, 6]) == 1
+        assert subgroup_order([(0, 0)], [4, 6]) == 1
+
+    def test_full_subgroup(self):
+        assert subgroup_order([(1, 0), (0, 1)], [4, 6]) == 24
+
+    def test_membership(self):
+        moduli = [8, 9]
+        gens = [(2, 3)]
+        assert subgroup_contains(gens, (4, 6), moduli)
+        assert subgroup_contains(gens, (6, 0), moduli)  # 3 * (2,3) = (6, 0) mod (8,9)
+        assert not subgroup_contains(gens, (1, 0), moduli)
+
+    def test_member_coefficients_reconstruct(self):
+        moduli = [8, 9, 5]
+        module = ZModule(moduli)
+        gens = [(2, 3, 0), (0, 0, 1)]
+        target = module.add(module.scalar(3, gens[0]), module.scalar(4, gens[1]))
+        coeffs = member_coefficients(gens, target, moduli)
+        assert coeffs is not None
+        rebuilt = module.identity()
+        for c, g in zip(coeffs, gens):
+            rebuilt = module.add(rebuilt, module.scalar(c, g))
+        assert rebuilt == target
+
+    def test_member_coefficients_none_outside(self):
+        assert member_coefficients([(2, 0)], (1, 0), [4, 4]) is None
+
+    def test_canonical_generators_equality(self):
+        moduli = [4, 6]
+        a = [(2, 0), (0, 3)]
+        b = [(2, 3), (2, 0), (0, 3)]
+        assert canonical_generators(a, moduli) == canonical_generators(b, moduli)
+
+    def test_kernel_mod(self):
+        # x + 2y = 0 mod 4 over Z_4 x Z_4
+        solutions = kernel_mod([[1, 2]], 4, [4, 4])
+        module = ZModule([4, 4])
+        for x in module.subgroup_elements(solutions):
+            assert (x[0] + 2 * x[1]) % 4 == 0
+        assert subgroup_order(solutions, [4, 4]) == 4
+
+
+class TestAnnihilator:
+    @pytest.mark.parametrize(
+        "moduli,gens",
+        [
+            ([4, 6], [(2, 3)]),
+            ([8, 9, 5], [(2, 0, 0), (0, 3, 0)]),
+            ([2, 2, 2], [(1, 1, 0), (0, 1, 1)]),
+            ([12], [(4,)]),
+        ],
+    )
+    def test_double_annihilator_is_identity(self, moduli, gens):
+        module = ZModule(moduli)
+        double = annihilator(annihilator(gens, moduli), moduli)
+        assert module.subgroups_equal(double, gens)
+
+    @pytest.mark.parametrize(
+        "moduli,gens",
+        [([4, 6], [(2, 3)]), ([8, 3], [(2, 0)]), ([2, 2], [(1, 1)])],
+    )
+    def test_annihilator_orthogonality(self, moduli, gens):
+        module = ZModule(moduli)
+        dual = annihilator(gens, moduli)
+        for x in module.subgroup_elements(gens):
+            for y in module.subgroup_elements(dual):
+                num, den = module.pairing_phase(x, y)
+                assert num % den == 0
+
+    def test_order_product(self):
+        moduli = [4, 6]
+        gens = [(2, 3)]
+        dual = annihilator(gens, moduli)
+        assert subgroup_order(gens, moduli) * subgroup_order(dual, moduli) == 24
+
+    def test_annihilator_of_trivial_is_everything(self):
+        moduli = [4, 6]
+        dual = annihilator([], moduli)
+        assert subgroup_order(dual, moduli) == 24
+
+    def test_annihilator_of_everything_is_trivial(self):
+        moduli = [4, 6]
+        dual = annihilator([(1, 0), (0, 1)], moduli)
+        assert subgroup_order(dual, moduli) == 1
+
+
+class TestCosetRepresentative:
+    def test_same_coset_same_representative(self):
+        moduli = [8, 9]
+        module = ZModule(moduli)
+        gens = [(2, 3)]
+        x = (5, 7)
+        for element in module.subgroup_elements(gens):
+            shifted = module.add(x, element)
+            assert coset_representative(shifted, gens, moduli) == coset_representative(x, gens, moduli)
+
+    def test_distinct_cosets_distinct_representatives(self):
+        moduli = [6, 4]
+        module = ZModule(moduli)
+        gens = [(3, 2)]
+        labels = {coset_representative(x, gens, moduli) for x in module.elements()}
+        assert len(labels) == module.order // subgroup_order(gens, moduli)
+
+    def test_identity_coset(self):
+        moduli = [6, 4]
+        gens = [(3, 2)]
+        assert coset_representative((3, 2), gens, moduli) == coset_representative((0, 0), gens, moduli)
+
+
+class TestCyclicDecomposition:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_decomposition_invariants(self, seed):
+        rng = np.random.default_rng(seed)
+        moduli = [int(rng.choice([2, 3, 4, 6, 8, 9])) for _ in range(int(rng.integers(1, 4)))]
+        module = ZModule(moduli)
+        gens = [module.random_element(rng) for _ in range(int(rng.integers(1, 4)))]
+        decomposition = cyclic_decomposition(gens, moduli)
+        # orders multiply to the subgroup order
+        product = math.prod([order for _, order in decomposition]) if decomposition else 1
+        assert product == subgroup_order(gens, moduli)
+        # element orders match and generators regenerate the subgroup
+        for element, order in decomposition:
+            assert module.element_order(element) == order
+        regenerated = [element for element, _ in decomposition] or [module.identity()]
+        assert module.subgroups_equal(gens, regenerated)
+
+    def test_decomposition_divisibility_chain(self):
+        moduli = [4, 6, 5]
+        decomposition = cyclic_decomposition([(1, 0, 0), (0, 1, 0), (0, 0, 1)], moduli)
+        orders = [order for _, order in decomposition]
+        for a, b in zip(orders, orders[1:]):
+            assert b % a == 0
+
+    def test_trivial_input(self):
+        assert cyclic_decomposition([(0, 0)], [4, 6]) == []
