@@ -1,0 +1,177 @@
+"""Engine benchmark: vectorized Cayley-table path vs the scalar path.
+
+Runs the two Fourier-sampling-dominated workloads of the experiment suite —
+the extraspecial Theorem 11 solve (E6) and the hidden-normal-subgroup solve
+(E4) — twice on the same seed:
+
+``scalar``
+    the pre-engine configuration: per-element group arithmetic, per-round
+    Fourier sampling (``FourierSampler(batch=False)``), min-encoding coset
+    labels, ``use_engine=False`` in the solvers;
+``engine``
+    the batched configuration: Cayley-engine products and coset labels,
+    per-oracle partition/decomposition caches, block sampling.
+
+Both configurations produce verified solutions and identical query totals
+per round; only the wall-clock cost of *simulating* the queries changes.
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py
+
+Also exposed as a pytest module (``test_engine_speedup``) asserting the
+engine path wins by a comfortable margin on the aggregate.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from repro.blackbox.instances import HSPInstance
+from repro.blackbox.oracle import HidingOracle, QueryCounter
+from repro.core.hidden_normal import find_hidden_normal_subgroup
+from repro.core.small_commutator import solve_hsp_small_commutator
+from repro.groups.extraspecial import extraspecial_group
+from repro.groups.products import dihedral_semidirect
+from repro.groups.subgroup import coset_representative_map, generate_subgroup_elements
+from repro.quantum.sampling import FourierSampler
+
+SEED = 20010202
+
+
+def _scalar_oracle(group, hidden) -> HidingOracle:
+    """The pre-engine hiding oracle: min-encoding labels over the enumerated subgroup."""
+    subgroup_elements = generate_subgroup_elements(group, hidden)
+    return HidingOracle(
+        coset_representative_map(group, subgroup_elements),
+        counter=QueryCounter(),
+        hidden_subgroup_generators=list(hidden),
+        description="scalar coset label",
+    )
+
+
+def _timed(run: Callable[[], object], repeats: int) -> Tuple[float, object]:
+    run()  # warm caches exactly once in both configurations
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = run()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def bench_extraspecial(p: int = 7, repeats: int = 10) -> Dict[str, float]:
+    """Theorem 11 on the extraspecial group of order ``p**3`` (workload E6)."""
+    timings: Dict[str, float] = {}
+    for config in ("scalar", "engine"):
+        group = extraspecial_group(p)  # fresh instance: no engine stickiness
+        rng = np.random.default_rng(SEED)
+        hidden = [group.uniform_random_element(rng)]
+        engine_on = config == "engine"
+        if engine_on:
+            instance = HSPInstance.from_subgroup(group, hidden)
+            oracle = instance.oracle
+        else:
+            oracle = _scalar_oracle(group, hidden)
+            instance = HSPInstance(group=None, oracle=oracle, hidden_generators=hidden)
+        sampler = FourierSampler(backend="auto", rng=rng, batch=engine_on)
+
+        def run():
+            return solve_hsp_small_commutator(
+                group,
+                oracle.fresh_view(),
+                sampler=sampler,
+                commutator_elements=group.commutator_subgroup_elements(),
+                use_engine=engine_on,
+            )
+
+        elapsed, result = _timed(run, repeats)
+        solved = HSPInstance.from_subgroup(group, hidden).verify(
+            result.generators or [group.identity()]
+        )
+        assert solved, f"{config} configuration returned a wrong subgroup"
+        timings[config] = elapsed
+    return timings
+
+
+def bench_hidden_normal(n: int = 128, repeats: int = 10) -> Dict[str, float]:
+    """Theorem 8 on the rotation subgroup of the dihedral group D_n (workload E4)."""
+    timings: Dict[str, float] = {}
+    for config in ("scalar", "engine"):
+        group = dihedral_semidirect(n)
+        rng = np.random.default_rng(SEED)
+        hidden = [group.embed_normal((1,))]
+        engine_on = config == "engine"
+        if engine_on:
+            instance = HSPInstance.from_subgroup(group, hidden)
+            oracle = instance.oracle
+        else:
+            oracle = _scalar_oracle(group, hidden)
+        sampler = FourierSampler(backend="auto", rng=rng, batch=engine_on)
+
+        def run():
+            return find_hidden_normal_subgroup(
+                group, oracle.fresh_view(), sampler=sampler, use_engine=engine_on
+            )
+
+        elapsed, result = _timed(run, repeats)
+        solved = HSPInstance.from_subgroup(group, hidden).verify(result.generators)
+        assert solved, f"{config} configuration returned a wrong subgroup"
+        timings[config] = elapsed
+    return timings
+
+
+def bench_batch_ops(p: int = 11, pairs: int = 4096, repeats: int = 10) -> Dict[str, float]:
+    """Raw batch multiplication: engine ``mul_many`` vs the scalar loop."""
+    from repro.groups.engine import get_engine
+
+    group = extraspecial_group(p)
+    rng = np.random.default_rng(SEED)
+    elements_a = [group.uniform_random_element(rng) for _ in range(pairs)]
+    elements_b = [group.uniform_random_element(rng) for _ in range(pairs)]
+    scalar, _ = _timed(lambda: [group.multiply(a, b) for a, b in zip(elements_a, elements_b)], repeats)
+    engine = get_engine(group)
+    ids_a, ids_b = engine.intern_many(elements_a), engine.intern_many(elements_b)
+    engine_time, _ = _timed(lambda: engine.mul_many(ids_a, ids_b), repeats)
+    return {"scalar": scalar, "engine": engine_time}
+
+
+WORKLOADS: List[Tuple[str, Callable[[], Dict[str, float]]]] = [
+    ("extraspecial p=7 (Theorem 11)", bench_extraspecial),
+    ("hidden-normal D_128 (Theorem 8)", bench_hidden_normal),
+    ("mul_many 4096 pairs (p=11)", bench_batch_ops),
+]
+
+
+def run_all() -> List[Tuple[str, float, float, float]]:
+    rows = []
+    for name, bench in WORKLOADS:
+        timings = bench()
+        speedup = timings["scalar"] / timings["engine"]
+        rows.append((name, timings["scalar"], timings["engine"], speedup))
+    return rows
+
+
+def main() -> None:
+    rows = run_all()
+    width = max(len(name) for name, *_ in rows)
+    print(f"{'workload':<{width}}  {'scalar':>10}  {'engine':>10}  {'speedup':>8}")
+    for name, scalar, engine, speedup in rows:
+        print(f"{name:<{width}}  {scalar * 1e3:>8.2f}ms  {engine * 1e3:>8.2f}ms  {speedup:>7.1f}x")
+    solver_rows = rows[:2]
+    aggregate = sum(r[1] for r in solver_rows) / sum(r[2] for r in solver_rows)
+    print(f"\naggregate solver speedup: {aggregate:.1f}x (target: >= 3x)")
+
+
+def test_engine_speedup():
+    """The engine path must beat the scalar path >= 3x on the solver workloads."""
+    rows = run_all()[:2]
+    aggregate = sum(r[1] for r in rows) / sum(r[2] for r in rows)
+    assert aggregate >= 3.0, f"aggregate speedup {aggregate:.2f}x below target"
+
+
+if __name__ == "__main__":
+    main()

@@ -25,6 +25,25 @@ Public API layout
     commutator subgroups (Theorem 11, Corollary 12), elementary Abelian
     normal 2-subgroups (Theorem 13), and the ``solve_hsp`` dispatcher.
 
+Performance engine
+------------------
+The paper counts oracle queries; the simulation's wall-clock cost lives in
+per-element Python group arithmetic.  ``repro.groups.engine`` provides a
+vectorized Cayley engine (:class:`~repro.groups.engine.CayleyBackend`) that
+interns elements to dense integer ids, memoizes products in a lazily filled
+NumPy Cayley table (with a sparse fallback past a size guard), and exposes
+batch operations (``mul_many``, ``inv_many``, ``conj_many``,
+``orbit_closure``) plus memoized structure queries (commutator subgroups,
+element orders, subgroup closures).  The hot paths — Fourier sampling,
+coset enumeration, the Theorem 8/11 solvers — route through the engine and
+the bulk oracle APIs (``BlackBoxGroup.multiply_many``,
+``HidingOracle.evaluate_many``) when a usable dense encoding exists, and
+fall back to the original per-element code otherwise.  Query accounting is
+bulk-equivalent by construction: batch operations report exactly the totals
+of the scalar loops they replace (``tests/test_groups_engine.py``), and
+``benchmarks/bench_engine.py`` measures the resulting speedup (>= 3x on the
+Fourier-sampling-dominated workloads).
+
 Quick start
 -----------
 >>> import numpy as np

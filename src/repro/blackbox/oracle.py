@@ -23,9 +23,33 @@ __all__ = ["QueryCounter", "BlackBoxGroup", "HidingOracle"]
 class QueryCounter:
     """Mutable counters for oracle usage.
 
-    ``quantum_queries`` counts *superposition* queries (one per Fourier
-    sampling round, regardless of how expensive it is to simulate them
-    classically); ``classical_queries`` counts ordinary evaluations.
+    Field semantics (the accounting contract of the whole benchmark suite):
+
+    ``classical_queries``
+        Ordinary (non-superposition) evaluations of a hiding function ``f``.
+        Cached re-evaluations are free: only the *first* evaluation of each
+        element counts, and the batch API
+        (:meth:`HidingOracle.evaluate_many`) counts exactly the uncached
+        elements, so a batch reports the same total as the equivalent scalar
+        loop.
+    ``quantum_queries``
+        Superposition queries: one per Fourier-sampling round, regardless of
+        how expensive the round is to simulate classically and of which
+        sampling backend ran it.  A batched request for ``k`` rounds counts
+        ``k``.
+    ``group_multiplications``
+        Uses of the group-multiplication oracle ``U_G``.  Batch products of
+        ``k`` pairs (:meth:`BlackBoxGroup.multiply_many`) count ``k``, the
+        same as ``k`` scalar calls; memoisation *inside* the Cayley engine is
+        invisible here because the count is bumped before the engine runs.
+    ``group_inversions``
+        Uses of the inversion oracle; bulk accounting mirrors
+        ``group_multiplications`` (:meth:`BlackBoxGroup.inverse_many`).
+    ``identity_tests``
+        Equality/identity tests performed through the black-box interface.
+    ``extra``
+        Free-form named counters (``bump``) for algorithm-specific events,
+        e.g. ``theorem11_retries`` or ``order_oracle_calls``.
     """
 
     classical_queries: int = 0
@@ -97,6 +121,27 @@ class BlackBoxGroup(FiniteGroup):
         self.counter.group_inversions += 1
         return self.group.inverse(a)
 
+    def multiply_many(self, elements_a, elements_b) -> List:
+        """Batch products; counts ``len(elements_a)`` multiplications in bulk.
+
+        Totals equal those of the scalar loop ``[self.multiply(a, b) ...]``;
+        the arithmetic is delegated to the wrapped group, whose default batch
+        implementation is engine-accelerated when a Cayley engine is
+        installed (:mod:`repro.groups.engine`).
+        """
+        elements_a = list(elements_a)
+        elements_b = list(elements_b)
+        if len(elements_a) != len(elements_b):
+            raise ValueError("multiply_many requires sequences of equal length")
+        self.counter.group_multiplications += len(elements_a)
+        return self.group.multiply_many(elements_a, elements_b)
+
+    def inverse_many(self, elements) -> List:
+        """Batch inverses; counts ``len(elements)`` inversions in bulk."""
+        elements = list(elements)
+        self.counter.group_inversions += len(elements)
+        return self.group.inverse_many(elements)
+
     def equal(self, a, b) -> bool:
         self.counter.identity_tests += 1
         return self.group.equal(a, b)
@@ -163,9 +208,28 @@ class HidingOracle:
         self._cache[element] = value
         return value
 
-    def quantum_query(self) -> None:
-        """Account for one superposition query (one Fourier-sampling round)."""
-        self.counter.quantum_queries += 1
+    def evaluate_many(self, elements: Sequence) -> List:
+        """Batch classical queries to ``f``.
+
+        Exactly the uncached elements are counted (and evaluated, in input
+        order), so the reported ``classical_queries`` total is identical to
+        the equivalent scalar loop ``[self(x) for x in elements]`` —
+        including when the input contains duplicates.
+        """
+        values = []
+        for element in elements:
+            if element in self._cache:
+                values.append(self._cache[element])
+                continue
+            self.counter.classical_queries += 1
+            value = self._label(element)
+            self._cache[element] = value
+            values.append(value)
+        return values
+
+    def quantum_query(self, count: int = 1) -> None:
+        """Account for ``count`` superposition queries (Fourier-sampling rounds)."""
+        self.counter.quantum_queries += count
 
     def fresh_view(self) -> "HidingOracle":
         """A new oracle sharing the labelling function but with fresh counters."""

@@ -26,9 +26,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.blackbox.oracle import HidingOracle, QueryCounter
+from repro.blackbox.oracle import BlackBoxGroup, HidingOracle, QueryCounter
 from repro.core.hidden_normal import find_hidden_normal_subgroup
 from repro.groups.base import FiniteGroup, GroupError
+from repro.groups.engine import maybe_engine
 from repro.groups.subgroup import commutator_subgroup_generators, generate_subgroup_elements
 from repro.quantum.sampling import FourierSampler
 
@@ -55,6 +56,7 @@ def solve_hsp_small_commutator(
     commutator_bound: int = 1 << 14,
     max_enumeration: int = 1 << 18,
     max_retries: int = 3,
+    use_engine: bool = True,
 ) -> SmallCommutatorResult:
     """Solve the HSP hidden by ``oracle`` in a group with small ``G'`` (Theorem 11).
 
@@ -72,27 +74,43 @@ def solve_hsp_small_commutator(
         check (every generator of ``HG'`` meets ``H`` in its ``G'``-coset)
         fails.  The failure is always *detected*, and the run is repeated up
         to ``max_retries`` times before giving up.
+    use_engine:
+        Install a Cayley engine on the (unwrapped) ambient group so batch
+        products in the coset-bundle hot path are memoized and vectorised.
+        Groups without a usable dense encoding silently keep the per-element
+        path; query accounting is identical either way.
     """
     sampler = sampler if sampler is not None else FourierSampler()
     counter = counter if counter is not None else oracle.counter
+    engine = maybe_engine(group) if use_engine else None
 
     # Step 1: enumerate G' and read off H ∩ G'.
     if commutator_elements is None:
-        commutator_gens = commutator_subgroup_generators(group)
-        commutator_elements = (
-            generate_subgroup_elements(group, commutator_gens, limit=commutator_bound)
-            if commutator_gens
-            else [group.identity()]
-        )
+        # The engine shortcut is only taken on uncounted groups: a counted
+        # black-box wrapper must keep the scalar enumeration so its query
+        # report stays identical to the use_engine=False run.
+        if engine is not None and not isinstance(group, BlackBoxGroup):
+            commutator_elements = engine.commutator_subgroup_elements(limit=commutator_bound)
+        else:
+            commutator_gens = commutator_subgroup_generators(group)
+            commutator_elements = (
+                generate_subgroup_elements(group, commutator_gens, limit=commutator_bound)
+                if commutator_gens
+                else [group.identity()]
+            )
     commutator_elements = list(commutator_elements)
     identity_label = oracle(group.identity())
+    commutator_labels = oracle.evaluate_many(commutator_elements)
     intersection = [
-        c for c in commutator_elements if not group.is_identity(c) and oracle(c) == identity_label
+        c
+        for c, label in zip(commutator_elements, commutator_labels)
+        if not group.is_identity(c) and label == identity_label
     ]
 
     # Step 2: the coset-bundle function F hides HG' (normal, Abelian quotient).
     def bundled_label(x):
-        return frozenset(oracle(group.multiply(x, c)) for c in commutator_elements)
+        coset = group.multiply_many([x] * len(commutator_elements), commutator_elements)
+        return frozenset(oracle.evaluate_many(coset))
 
     bundled_oracle = HidingOracle(
         bundled_label,

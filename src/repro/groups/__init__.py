@@ -8,6 +8,7 @@ quantum algorithms are layered on.
 
 from repro.groups.base import FiniteGroup, GroupError
 from repro.groups.abelian import AbelianTupleGroup, cyclic_group, elementary_abelian_group
+from repro.groups.engine import CayleyBackend, get_engine, maybe_engine
 from repro.groups.perm import (
     PermutationGroup,
     SchreierSims,
@@ -48,6 +49,9 @@ from repro.groups.series import (
 __all__ = [
     "FiniteGroup",
     "GroupError",
+    "CayleyBackend",
+    "get_engine",
+    "maybe_engine",
     "AbelianTupleGroup",
     "cyclic_group",
     "elementary_abelian_group",

@@ -94,6 +94,9 @@ class FiniteGroup(abc.ABC):
     # -- derived operations -----------------------------------------------------
     def power(self, a: Element, k: int) -> Element:
         """``a**k`` by binary exponentiation (``k`` may be negative)."""
+        engine = getattr(self, "_cayley_engine", None)
+        if engine is not None and engine.mode == "table":
+            return engine.element_of(engine.power(engine.intern(a), k))
         if k < 0:
             return self.power(self.inverse(a), -k)
         result = self.identity()
@@ -109,6 +112,26 @@ class FiniteGroup(abc.ABC):
         """``g * h * g**-1``."""
         return self.multiply(self.multiply(g, h), self.inverse(g))
 
+    # -- batch operations -------------------------------------------------------
+    # The defaults are scalar loops; installing a Cayley engine on the group
+    # (``repro.groups.engine.get_engine``) transparently accelerates them.
+    # Counted wrappers (``BlackBoxGroup``) override these to bump their
+    # counters in bulk before delegating, so batch and scalar executions
+    # report identical query totals.
+    def multiply_many(self, elements_a: Sequence[Element], elements_b: Sequence[Element]) -> List[Element]:
+        """Componentwise products ``a_i * b_i`` of two equal-length sequences."""
+        engine = getattr(self, "_cayley_engine", None)
+        if engine is not None:
+            return engine.multiply_elements(elements_a, elements_b)
+        return [self.multiply(a, b) for a, b in zip(elements_a, elements_b)]
+
+    def inverse_many(self, elements: Sequence[Element]) -> List[Element]:
+        """Componentwise inverses of a sequence of elements."""
+        engine = getattr(self, "_cayley_engine", None)
+        if engine is not None:
+            return engine.inverse_elements(elements)
+        return [self.inverse(a) for a in elements]
+
     def commutator(self, a: Element, b: Element) -> Element:
         """``a * b * a**-1 * b**-1``."""
         return self.multiply(self.multiply(a, b), self.multiply(self.inverse(a), self.inverse(b)))
@@ -123,6 +146,9 @@ class FiniteGroup(abc.ABC):
         """
         if self.is_identity(a):
             return 1
+        engine = getattr(self, "_cayley_engine", None)
+        if engine is not None and engine.mode == "table":
+            return engine.element_order(engine.intern(a))
         bound = exponent if exponent is not None else self.exponent_bound()
         if bound is not None:
             return element_order_from_exponent(

@@ -1,0 +1,468 @@
+"""Vectorized Cayley-table group engine.
+
+The paper states its complexity bounds in oracle queries, but the wall-clock
+cost of the *simulation* is dominated by per-element Python group arithmetic
+in the Fourier-sampling and coset-enumeration hot paths.  This module provides
+a :class:`CayleyBackend` that
+
+* interns group elements to dense integer ids (a bijection between the
+  elements touched so far and ``0..n-1``),
+* memoizes products and inverses in a lazily filled NumPy Cayley table when
+  the group is small enough (``order <= table_limit``), falling back to a
+  sparse pair-cache for larger groups,
+* exposes batch operations — :meth:`mul_many`, :meth:`inv_many`,
+  :meth:`conj_many`, :meth:`orbit_closure` — that amortise Python dispatch
+  over whole id arrays, and
+* memoizes structure queries (:meth:`is_abelian`, the commutator subgroup,
+  element orders) that the solvers ask for repeatedly.
+
+The engine is *mathematically transparent*: every operation agrees with the
+scalar :class:`~repro.groups.base.FiniteGroup` interface of the wrapped group
+(the test-suite checks this property-based).  Query accounting is **not**
+done here — counted groups (:class:`~repro.blackbox.oracle.BlackBoxGroup`)
+bump their counters in bulk *before* delegating to the engine, so batch and
+scalar executions report identical totals.
+
+Use :func:`get_engine` to build-and-install an engine on a group instance
+(subsequent ``multiply_many`` calls on the group are then engine-accelerated
+automatically) and :func:`maybe_engine` for the guarded variant that returns
+``None`` for groups without a usable dense encoding (unknown or huge order),
+which keeps the per-element code path as the fallback.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.groups.base import FiniteGroup, GroupError
+
+__all__ = ["CayleyBackend", "get_engine", "maybe_engine"]
+
+#: Largest group order for which the dense (lazily filled) Cayley table is used.
+DEFAULT_TABLE_LIMIT = 4096
+
+#: Largest group order for which :func:`maybe_engine` engages at all; beyond
+#: this the sparse pair-cache would still be correct but interning whole
+#: orbits may not fit comfortably in memory.
+DEFAULT_INTERN_LIMIT = 1 << 16
+
+#: Safety cap for element-order iteration in sparse mode.
+_ORDER_ITERATION_LIMIT = 10**7
+
+
+def _cheap_order(group: FiniteGroup) -> Optional[int]:
+    """The group order if it is available without a fresh full enumeration.
+
+    ``None`` means "unknown without enumeration": the base-class ``order``
+    falls back to BFS over the whole group, which the engine must not trigger
+    on a group that might be huge.  An already-populated element cache counts
+    as cheap (the enumeration has been paid for).
+    """
+    cached = getattr(group, "_element_cache", None)
+    if cached is not None:
+        return len(cached)
+    if type(group).order is not FiniteGroup.order:
+        try:
+            return int(group.order())
+        except Exception:
+            return None
+    return None
+
+
+class CayleyBackend:
+    """Dense-id engine over a :class:`~repro.groups.base.FiniteGroup`.
+
+    Parameters
+    ----------
+    group:
+        The wrapped group.  Elements must be hashable (they are, for every
+        concrete group in this reproduction).
+    table_limit:
+        Orders up to this use ``mode == "table"`` (a lazily filled dense
+        NumPy Cayley table over the *full* element list); larger groups use
+        ``mode == "sparse"`` (per-pair memoisation, on-demand interning).
+    """
+
+    def __init__(self, group: FiniteGroup, table_limit: int = DEFAULT_TABLE_LIMIT):
+        self.group = group
+        self.table_limit = table_limit
+        self._elements: List = []
+        self._ids: Dict = {}
+        self._mul_cache: Dict[Tuple[int, int], int] = {}
+        self._inv_cache: Dict[int, int] = {}
+        self._order_cache: Dict[int, int] = {}
+        self._table: Optional[np.ndarray] = None
+        self._inv_table: Optional[np.ndarray] = None
+        self._is_abelian: Optional[bool] = None
+        self._commutator_ids: Optional[np.ndarray] = None
+        self._subgroup_cache: Dict[Tuple[int, ...], np.ndarray] = {}
+        order = _cheap_order(group)
+        self.group_order = order
+        self.mode = "table" if order is not None and order <= table_limit else "sparse"
+        if self.mode == "table":
+            for element in group.element_list():
+                self.intern(element)
+            n = len(self._elements)
+            self._table = np.full((n, n), -1, dtype=np.int32)
+            self._inv_table = np.full(n, -1, dtype=np.int32)
+        self.identity_id = self.intern(group.identity())
+
+    # -- interning ------------------------------------------------------------
+    def intern(self, element) -> int:
+        """The dense id of ``element`` (allocating one on first sight)."""
+        found = self._ids.get(element)
+        if found is not None:
+            return found
+        if self.mode == "table" and self._table is not None:
+            raise GroupError(
+                f"element {element!r} is not in the enumerated group {self.group.name}"
+            )
+        new_id = len(self._elements)
+        self._ids[element] = new_id
+        self._elements.append(element)
+        return new_id
+
+    def intern_many(self, elements: Iterable) -> np.ndarray:
+        return np.fromiter((self.intern(e) for e in elements), dtype=np.int64)
+
+    def element_of(self, element_id: int):
+        return self._elements[int(element_id)]
+
+    def elements_of(self, ids: Iterable) -> List:
+        return [self._elements[int(i)] for i in ids]
+
+    @property
+    def interned_count(self) -> int:
+        return len(self._elements)
+
+    # -- scalar primitives ----------------------------------------------------
+    def mul(self, a: int, b: int) -> int:
+        """Product of two interned elements, memoized."""
+        a = int(a)
+        b = int(b)
+        if self._table is not None:
+            value = int(self._table[a, b])
+            if value < 0:
+                value = self.intern(self.group.multiply(self._elements[a], self._elements[b]))
+                self._table[a, b] = value
+            return value
+        key = (a, b)
+        value = self._mul_cache.get(key)
+        if value is None:
+            value = self.intern(self.group.multiply(self._elements[a], self._elements[b]))
+            self._mul_cache[key] = value
+        return value
+
+    def inv(self, a: int) -> int:
+        a = int(a)
+        if self._inv_table is not None:
+            value = int(self._inv_table[a])
+            if value < 0:
+                value = self.intern(self.group.inverse(self._elements[a]))
+                self._inv_table[a] = value
+            return value
+        value = self._inv_cache.get(a)
+        if value is None:
+            value = self.intern(self.group.inverse(self._elements[a]))
+            self._inv_cache[a] = value
+        return value
+
+    def power(self, a: int, k: int) -> int:
+        """``a**k`` by binary exponentiation over ids."""
+        if k < 0:
+            return self.power(self.inv(a), -k)
+        result = self.identity_id
+        base = int(a)
+        while k:
+            if k & 1:
+                result = self.mul(result, base)
+            base = self.mul(base, base)
+            k >>= 1
+        return result
+
+    # -- batch operations ------------------------------------------------------
+    def mul_many(self, ids_a: Sequence[int], ids_b: Sequence[int]) -> np.ndarray:
+        """Componentwise products ``a_i * b_i`` of two id arrays."""
+        ids_a = np.asarray(ids_a, dtype=np.int64)
+        ids_b = np.asarray(ids_b, dtype=np.int64)
+        if ids_a.shape != ids_b.shape:
+            raise ValueError("mul_many requires id arrays of equal length")
+        if self._table is not None:
+            out = self._table[ids_a, ids_b].astype(np.int64)
+            missing = np.flatnonzero(out < 0)
+            for idx in missing:
+                out[idx] = self.mul(int(ids_a[idx]), int(ids_b[idx]))
+            return out
+        return np.fromiter(
+            (self.mul(a, b) for a, b in zip(ids_a, ids_b)), dtype=np.int64, count=len(ids_a)
+        )
+
+    def inv_many(self, ids: Sequence[int]) -> np.ndarray:
+        """Componentwise inverses of an id array."""
+        ids = np.asarray(ids, dtype=np.int64)
+        if self._inv_table is not None:
+            out = self._inv_table[ids].astype(np.int64)
+            missing = np.flatnonzero(out < 0)
+            for idx in missing:
+                out[idx] = self.inv(int(ids[idx]))
+            return out
+        return np.fromiter((self.inv(a) for a in ids), dtype=np.int64, count=len(ids))
+
+    def conj_many(self, ids_g: Sequence[int], ids_h: Sequence[int]) -> np.ndarray:
+        """Componentwise conjugates ``g_i h_i g_i^{-1}``."""
+        ids_g = np.asarray(ids_g, dtype=np.int64)
+        return self.mul_many(self.mul_many(ids_g, ids_h), self.inv_many(ids_g))
+
+    def orbit_closure(
+        self,
+        seed_ids: Sequence[int],
+        generator_ids: Optional[Sequence[int]] = None,
+        include_inverses: bool = True,
+        limit: Optional[int] = None,
+    ) -> np.ndarray:
+        """Closure of ``seed_ids`` under right multiplication by the generators.
+
+        With ``seed_ids == [identity]`` this is the subgroup generated by the
+        generator ids.  Returns the sorted id array of the closure.  ``limit``
+        aborts (``GroupError``) once the closure exceeds that many elements —
+        the same guard the scalar BFS helpers use.
+        """
+        if generator_ids is None:
+            generator_ids = self.intern_many(self.group.generators())
+        gen_ids = np.asarray(generator_ids, dtype=np.int64)
+        if include_inverses and gen_ids.size:
+            gen_ids = np.unique(np.concatenate([gen_ids, self.inv_many(gen_ids)]))
+        seed = np.unique(np.asarray(seed_ids, dtype=np.int64))
+        if self._table is not None:
+            # Dense membership: one boolean flag per group element, one
+            # vectorised product block per BFS level.
+            member = np.zeros(len(self._elements), dtype=bool)
+            member[seed] = True
+            frontier = seed
+            while frontier.size and gen_ids.size:
+                products = np.unique(
+                    self.mul_many(np.repeat(frontier, gen_ids.size), np.tile(gen_ids, frontier.size))
+                )
+                fresh = products[~member[products]]
+                member[fresh] = True
+                if limit is not None and int(member.sum()) > limit:
+                    raise GroupError(f"orbit closure exceeded limit {limit}")
+                frontier = fresh
+            return np.flatnonzero(member).astype(np.int64)
+        seen = set(int(i) for i in seed)
+        frontier = seed
+        while frontier.size and gen_ids.size:
+            products = self.mul_many(np.repeat(frontier, gen_ids.size), np.tile(gen_ids, frontier.size))
+            fresh = [int(p) for p in np.unique(products) if int(p) not in seen]
+            seen.update(fresh)
+            if limit is not None and len(seen) > limit:
+                raise GroupError(f"orbit closure exceeded limit {limit}")
+            frontier = np.asarray(fresh, dtype=np.int64)
+        return np.asarray(sorted(seen), dtype=np.int64)
+
+    def subgroup_ids(
+        self, generator_ids: Sequence[int], limit: Optional[int] = None, memoize: bool = True
+    ) -> np.ndarray:
+        """Ids of the subgroup generated by ``generator_ids``.
+
+        In table mode the closure uses the doubling strategy — each level
+        multiplies the new elements against the whole current set — so a
+        cyclic group of order ``n`` closes in ``O(log n)`` vectorised levels
+        rather than ``n`` generator steps.  Sparse mode falls back to the
+        generator-step orbit closure.  ``memoize=False`` skips the closure
+        cache — use it for one-off generating sets (e.g. incremental
+        re-closures seeded with a whole member set) whose keys would never
+        be hit again.
+        """
+        gen_ids = np.unique(np.asarray(generator_ids, dtype=np.int64))
+        if gen_ids.size == 0:
+            return np.asarray([self.identity_id], dtype=np.int64)
+        key = tuple(int(i) for i in gen_ids) if memoize else None
+        if key is not None:
+            cached = self._subgroup_cache.get(key)
+            if cached is not None:
+                if limit is not None and cached.size > limit:
+                    raise GroupError(f"subgroup closure exceeded limit {limit}")
+                return cached
+        if self._table is None:
+            closure = self.orbit_closure([self.identity_id], gen_ids, limit=limit)
+            if key is not None:
+                self._subgroup_cache[key] = closure
+            return closure
+        current = np.unique(
+            np.concatenate([gen_ids, self.inv_many(gen_ids), [self.identity_id]])
+        )
+        member = np.zeros(len(self._elements), dtype=bool)
+        member[current] = True
+        frontier = current
+        while frontier.size:
+            # Both orders: a pair (a, b) with b discovered after a is covered
+            # at b's level, where a is in `current` — a*b by the second block
+            # and b*a by the first.
+            left = self.mul_many(np.repeat(frontier, current.size), np.tile(current, frontier.size))
+            right = self.mul_many(np.repeat(current, frontier.size), np.tile(frontier, current.size))
+            products = np.unique(np.concatenate([left, right]))
+            fresh = products[~member[products]]
+            member[fresh] = True
+            current = np.flatnonzero(member).astype(np.int64)
+            if limit is not None and current.size > limit:
+                raise GroupError(f"subgroup closure exceeded limit {limit}")
+            frontier = fresh
+        if key is not None:
+            self._subgroup_cache[key] = current
+        return current
+
+    # -- element-level conveniences --------------------------------------------
+    def multiply_elements(self, elements_a: Sequence, elements_b: Sequence) -> List:
+        ids = self.mul_many(self.intern_many(elements_a), self.intern_many(elements_b))
+        return self.elements_of(ids)
+
+    def inverse_elements(self, elements: Sequence) -> List:
+        return self.elements_of(self.inv_many(self.intern_many(elements)))
+
+    # -- memoized structure queries ---------------------------------------------
+    def is_abelian(self) -> bool:
+        """Whether the group is Abelian (generator-pairwise, memoized)."""
+        if self._is_abelian is None:
+            gen_ids = self.intern_many(self.group.generators())
+            pairs_a = np.repeat(gen_ids, gen_ids.size)
+            pairs_b = np.tile(gen_ids, gen_ids.size)
+            self._is_abelian = bool(
+                np.array_equal(self.mul_many(pairs_a, pairs_b), self.mul_many(pairs_b, pairs_a))
+            )
+        return self._is_abelian
+
+    def commutator_subgroup_ids(self, limit: Optional[int] = None) -> np.ndarray:
+        """Ids of the full commutator subgroup ``G'`` (memoized).
+
+        ``G'`` is the normal closure of the generator commutators: the
+        computation alternates subgroup closure with conjugation by the group
+        generators until stable, entirely over id arrays.
+        """
+        if self._commutator_ids is not None:
+            return self._commutator_ids
+        gen_ids = self.intern_many(self.group.generators())
+        commutators = []
+        for i in range(gen_ids.size):
+            for j in range(i + 1, gen_ids.size):
+                a, b = int(gen_ids[i]), int(gen_ids[j])
+                c = self.mul(self.mul(a, b), self.mul(self.inv(a), self.inv(b)))
+                if c != self.identity_id:
+                    commutators.append(c)
+        closure = self.subgroup_ids(np.asarray(commutators, dtype=np.int64), limit=limit)
+        while True:
+            members = set(int(i) for i in closure)
+            pairs_g = np.repeat(gen_ids, closure.size)
+            pairs_h = np.tile(closure, gen_ids.size)
+            conjugates = self.conj_many(pairs_g, pairs_h)
+            fresh = [int(c) for c in np.unique(conjugates) if int(c) not in members]
+            if not fresh:
+                break
+            closure = self.subgroup_ids(
+                np.concatenate([closure, np.asarray(fresh, dtype=np.int64)]), limit=limit
+            )
+        self._commutator_ids = closure
+        return closure
+
+    def commutator_subgroup_elements(self, limit: Optional[int] = None) -> List:
+        return self.elements_of(self.commutator_subgroup_ids(limit=limit))
+
+    def element_order(self, element_id: int) -> int:
+        """Multiplicative order of an interned element (memoized)."""
+        element_id = int(element_id)
+        cached = self._order_cache.get(element_id)
+        if cached is not None:
+            return cached
+        order = 1
+        current = element_id
+        cap = self.group_order if self.group_order is not None else _ORDER_ITERATION_LIMIT
+        while current != self.identity_id:
+            current = self.mul(current, element_id)
+            order += 1
+            if order > cap:
+                raise GroupError("element order exceeds enumeration limit")
+        self._order_cache[element_id] = order
+        return order
+
+    def orders_many(self, ids: Sequence[int]) -> np.ndarray:
+        return np.fromiter((self.element_order(i) for i in ids), dtype=np.int64)
+
+    # -- coset helpers -----------------------------------------------------------
+    def coset_label(self, element_id: int, subgroup_ids: np.ndarray) -> int:
+        """A canonical label of the left coset ``g H``: the minimum id in it.
+
+        Constant exactly on left cosets of the subgroup, so it is a valid
+        hiding-function value; computing it is one batched row of products.
+        """
+        element_id = int(element_id)
+        subgroup_ids = np.asarray(subgroup_ids, dtype=np.int64)
+        if self._table is not None:
+            row = self._table[element_id, subgroup_ids]
+            for idx in np.flatnonzero(row < 0):
+                row[idx] = self.mul(element_id, int(subgroup_ids[idx]))
+            return int(row.min())
+        return min(self.mul(element_id, int(b)) for b in subgroup_ids)
+
+    # -- diagnostics ---------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        """Cache-occupancy statistics (used by tests and the benchmark report)."""
+        if self._table is not None:
+            filled = int((self._table >= 0).sum())
+        else:
+            filled = len(self._mul_cache)
+        return {
+            "interned": len(self._elements),
+            "cached_products": filled,
+            "cached_inverses": (
+                int((self._inv_table >= 0).sum()) if self._inv_table is not None else len(self._inv_cache)
+            ),
+            "table_mode": int(self.mode == "table"),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<CayleyBackend {self.group.name} mode={self.mode} interned={len(self._elements)}>"
+
+
+def get_engine(group: FiniteGroup, table_limit: int = DEFAULT_TABLE_LIMIT) -> CayleyBackend:
+    """The engine installed on ``group``, building (and installing) one if absent.
+
+    Installation makes the group's default ``multiply_many``/``inverse_many``
+    batch methods engine-accelerated (see :class:`~repro.groups.base.FiniteGroup`).
+    """
+    engine = getattr(group, "_cayley_engine", None)
+    if engine is None:
+        engine = CayleyBackend(group, table_limit=table_limit)
+        group._cayley_engine = engine
+    return engine
+
+
+def maybe_engine(
+    group: FiniteGroup,
+    table_limit: int = DEFAULT_TABLE_LIMIT,
+    intern_limit: int = DEFAULT_INTERN_LIMIT,
+) -> Optional[CayleyBackend]:
+    """A guarded :func:`get_engine`: ``None`` when no usable encoding exists.
+
+    The engine engages only when the group order is known without a fresh
+    full enumeration (a concrete ``order()`` override or an already-cached
+    element list) and fits under ``intern_limit``, and when elements are
+    hashable.  Counted black-box wrappers are unwrapped so that the engine
+    memoizes the *uncounted* arithmetic — the wrapper keeps doing the (bulk)
+    accounting.
+    """
+    inner = getattr(group, "group", None)
+    if isinstance(inner, FiniteGroup):
+        group = inner
+    existing = getattr(group, "_cayley_engine", None)
+    if existing is not None:
+        return existing
+    order = _cheap_order(group)
+    if order is None or order > intern_limit:
+        return None
+    try:
+        hash(group.identity())
+    except TypeError:
+        return None
+    return get_engine(group, table_limit=table_limit)

@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.blackbox.oracle import HidingOracle, QueryCounter
 from repro.groups.abelian import AbelianTupleGroup
-from repro.linalg.zmodule import annihilator, canonical_generators, subgroup_order
+from repro.linalg.zmodule import annihilator, canonical_generators, subgroup_contains, subgroup_order
 from repro.quantum.sampling import AbelianHSPOracle, FourierSampler, TupleFunctionOracle
 
 __all__ = ["AbelianHSPResult", "solve_abelian_hsp", "solve_hsp_in_abelian_group"]
@@ -78,18 +78,30 @@ def solve_abelian_hsp(
     dual_canonical: List[Vector] = []
     stable_rounds = 0
     rounds = 0
+    # Samples are requested in blocks: a block of ``confidence - stable_rounds``
+    # rounds is the smallest number of further samples after which the stopping
+    # rule can possibly fire, so blocking never draws a round the scalar loop
+    # would not have drawn — query totals are identical, but the sampler can
+    # amortise its per-round cost.  Each sample updates the generated dual
+    # subgroup incrementally: a membership test against the current canonical
+    # generators replaces the full recomputation over all samples.
     while rounds < max_rounds:
-        new_samples = sampler.sample(oracle, 1)
-        rounds += 1
-        samples.extend(new_samples)
-        updated = canonical_generators(samples, moduli)
-        if updated == dual_canonical:
-            stable_rounds += 1
-            if stable_rounds >= confidence:
-                break
-        else:
-            dual_canonical = updated
-            stable_rounds = 0
+        block = max(1, min(confidence - stable_rounds, max_rounds - rounds))
+        new_samples = sampler.sample(oracle, block)
+        rounds += len(new_samples)
+        for sample in new_samples:
+            samples.append(sample)
+            if dual_canonical:
+                enlarges = not subgroup_contains(dual_canonical, sample, moduli)
+            else:
+                enlarges = any(v % m for v, m in zip(sample, moduli))
+            if enlarges:
+                dual_canonical = canonical_generators(dual_canonical + [sample], moduli)
+                stable_rounds = 0
+            else:
+                stable_rounds += 1
+        if stable_rounds >= confidence:
+            break
 
     hidden = annihilator(dual_canonical, moduli) if dual_canonical else list(
         annihilator([], moduli)

@@ -173,6 +173,15 @@ class FourierSampler:
         NumPy random generator (reproducibility of every experiment).
     statevector_limit:
         Largest domain size simulated with the dense backend under ``auto``.
+    batch:
+        When true (the default) the backends amortise work across rounds:
+        the statevector backend partitions the domain into cosets *once per
+        oracle* and caches the per-coset Fourier distributions, and the
+        analytic backend caches the dual decomposition and draws whole
+        coefficient blocks with vectorised lattice arithmetic.  ``False``
+        reproduces the original per-round scalar simulation (the comparison
+        baseline of ``benchmarks/bench_engine.py``).  The sampling
+        distribution and the query accounting are identical either way.
     """
 
     def __init__(
@@ -180,25 +189,32 @@ class FourierSampler:
         backend: str = "auto",
         rng: Optional[np.random.Generator] = None,
         statevector_limit: int = 1 << 14,
+        batch: bool = True,
     ):
         if backend not in ("auto", "analytic", "statevector"):
             raise ValueError(f"unknown backend {backend!r}")
         self.backend = backend
         self.rng = rng if rng is not None else np.random.default_rng()
         self.statevector_limit = statevector_limit
+        self.batch = batch
 
     # -- public API --------------------------------------------------------------
     def sample(self, oracle: AbelianHSPOracle, count: int = 1) -> List[Vector]:
-        """Draw ``count`` independent Fourier samples (elements of ``H^perp``)."""
+        """Draw ``count`` independent Fourier samples (elements of ``H^perp``).
+
+        Each sample accounts for one quantum query regardless of backend and
+        of batching, so a batched request for ``count`` rounds reports the
+        same totals as ``count`` scalar requests.
+        """
         backend = self._resolve_backend(oracle)
-        samples = []
-        for _ in range(count):
-            oracle.counter.quantum_queries += 1
+        oracle.counter.quantum_queries += count
+        if not self.batch:
             if backend == "statevector":
-                samples.append(self._sample_statevector(oracle))
-            else:
-                samples.append(self._sample_analytic(oracle))
-        return samples
+                return [self._sample_statevector(oracle) for _ in range(count)]
+            return [self._sample_analytic(oracle) for _ in range(count)]
+        if backend == "statevector":
+            return self._sample_statevector_batch(oracle, count)
+        return self._sample_analytic_batch(oracle, count)
 
     def _resolve_backend(self, oracle: AbelianHSPOracle) -> str:
         if self.backend != "auto":
@@ -225,7 +241,96 @@ class FourierSampler:
         outcome = int(self.rng.choice(len(flat), p=flat))
         return tuple(int(v) for v in np.unravel_index(outcome, tuple(moduli)))
 
+    # -- batched statevector backend ---------------------------------------------
+    def _sample_statevector_batch(self, oracle: AbelianHSPOracle, count: int) -> List[Vector]:
+        """Dense simulation with the per-oracle measurement distribution cached.
+
+        The measurement distribution of the Fourier-transformed coset state
+        is independent of the coset offset (uniform on ``H^perp``; see
+        :func:`~repro.quantum.qft.qft_probabilities_of_coset`), so the
+        distribution of the identity coset — collected in one domain scan,
+        the classical cost of simulating the superposition query — serves
+        every round.  Only the probability array is retained on the oracle.
+        """
+        module = oracle.module
+        shape = tuple(module.moduli)
+        flat = getattr(oracle, "_coset_probability_cache", None)
+        if flat is None:
+            identity_label = oracle.evaluate(module.identity())
+            indicator = np.zeros(shape, dtype=np.float64)
+            for x in module.elements():
+                if oracle.evaluate(x) == identity_label:
+                    indicator[x] = 1.0
+            flat = qft_probabilities_of_coset(indicator).reshape(-1)
+            oracle._coset_probability_cache = flat
+        outcomes = self.rng.choice(flat.size, p=flat, size=count)
+        return [
+            tuple(int(v) for v in np.unravel_index(int(outcome), shape)) for outcome in outcomes
+        ]
+
     # -- analytic backend ----------------------------------------------------------------
+    def _dual_structure(self, oracle: AbelianHSPOracle):
+        """Cached ``(dual generators, cyclic decomposition)`` of ``H^perp``."""
+        cached = getattr(oracle, "_dual_structure_cache", None)
+        if cached is None:
+            module = oracle.module
+            dual_generators = annihilator(oracle.kernel_generators(), module.moduli)
+            decomposition = (
+                cyclic_decomposition(dual_generators, module.moduli) if dual_generators else []
+            )
+            cached = (dual_generators, decomposition)
+            oracle._dual_structure_cache = cached
+        return cached
+
+    def _sample_analytic_batch(self, oracle: AbelianHSPOracle, count: int) -> List[Vector]:
+        """Vectorised uniform sampling from ``H^perp`` (cached decomposition).
+
+        Coefficient blocks are drawn in one generator call each and combined
+        with modular NumPy arithmetic when every modulus fits comfortably in
+        ``int64``; larger moduli fall back to exact per-sample big-integer
+        lattice arithmetic (still with the cached decomposition).
+        """
+        module = oracle.module
+        _, decomposition = self._dual_structure(oracle)
+        if not decomposition:
+            return [module.identity()] * count
+        # Decide vectorisability on Python ints BEFORE any int64 conversion:
+        # moduli of 2^63 and beyond must reach the exact big-integer fallback
+        # rather than overflow in np.asarray.
+        vectorisable = max(int(m) for m in module.moduli) <= (1 << 31) and all(
+            order < (1 << 62) for _, order in decomposition
+        )
+        if vectorisable:
+            moduli_arr = np.asarray(module.moduli, dtype=np.int64)
+            values = np.zeros((count, moduli_arr.size), dtype=np.int64)
+            for generator, order in decomposition:
+                coefficients = self.rng.integers(0, int(order), size=count, dtype=np.int64)
+                reduced = coefficients[:, None] % moduli_arr[None, :]
+                values = (values + reduced * (np.asarray(generator, dtype=np.int64) % moduli_arr)) % moduli_arr
+            return [tuple(int(v) for v in row) for row in values]
+        samples = []
+        for _ in range(count):
+            sample = module.identity()
+            for generator, order in decomposition:
+                coefficient = self._uniform_below(int(order))
+                sample = module.add(sample, module.scalar(coefficient, generator))
+            samples.append(sample)
+        return samples
+
+    def _uniform_below(self, bound: int) -> int:
+        """A uniform integer in ``[0, bound)`` supporting arbitrary-size bounds."""
+        if bound <= (1 << 62):
+            return int(self.rng.integers(0, bound))
+        bits = bound.bit_length()
+        chunks = (bits + 61) // 62
+        while True:
+            value = 0
+            for _ in range(chunks):
+                value = (value << 62) | int(self.rng.integers(0, 1 << 62))
+            value >>= chunks * 62 - bits
+            if value < bound:
+                return value
+
     def _sample_analytic(self, oracle: AbelianHSPOracle) -> Vector:
         module = oracle.module
         kernel = oracle.kernel_generators()
