@@ -3,11 +3,24 @@
 Paper claim: polynomial in ``input size + p``.  The sweep grows ``p`` (the
 commutator/center order) and, separately, the rank of the generalised
 Heisenberg group at fixed ``p`` (growing ``log |G|`` with ``p`` fixed).
+
+The sweep definitions live in :mod:`repro.experiments.workloads` (the
+``extraspecial-*`` entries); running this file as a script is a thin wrapper
+that executes them through the parallel experiment runner and persists one
+``BENCH_<sweep>.json`` each::
+
+    PYTHONPATH=src python benchmarks/bench_extraspecial.py --workers 2
+
+The pytest-benchmark entries below measure the same instances with
+wall-clock statistics per parameter point.
 """
 
 import pytest
 
-from benchmarks.conftest import attach_query_report
+try:
+    from benchmarks.conftest import attach_query_report
+except ModuleNotFoundError:  # executed as a script: benchmarks/ is sys.path[0]
+    from conftest import attach_query_report
 from repro.blackbox.instances import HSPInstance
 from repro.core.solver import solve_hsp
 from repro.groups.extraspecial import extraspecial_group
@@ -87,3 +100,21 @@ def test_generalised_heisenberg_rank_sweep(benchmark, rank, rng):
     assert instance.verify(result.generators or [group.identity()])
     benchmark.extra_info["group_order"] = 3 ** (2 * rank + 1)
     attach_query_report(benchmark, result.query_report)
+
+
+SWEEPS = [
+    "extraspecial-prime",
+    "extraspecial-two-generators",
+    "extraspecial-heisenberg",
+]
+
+
+def main(argv=None) -> int:
+    """Run the declared Corollary 12 sweeps through the experiment CLI."""
+    from repro.experiments.cli import run_sweeps
+
+    return run_sweeps(SWEEPS, argv, description=__doc__.splitlines()[0])
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

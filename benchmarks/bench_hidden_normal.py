@@ -6,11 +6,25 @@ groups and permutation groups, with no non-Abelian Fourier transform.  The
 sweeps grow the dihedral/metacyclic/permutation instances; the Abelian-factor
 path should scale with ``log |G|`` and the bounded-factor path with
 ``|G/N|``.
+
+The sweep definitions live in :mod:`repro.experiments.workloads` (the
+``hidden-normal-*`` entries); running this file as a script is a thin
+wrapper that executes them through the parallel experiment runner and
+persists one ``BENCH_<sweep>.json`` each::
+
+    PYTHONPATH=src python benchmarks/bench_hidden_normal.py --workers 2
+
+The pytest-benchmark entries below measure the same instances with
+wall-clock statistics per parameter point (``pytest benchmarks/
+--benchmark-only``).
 """
 
 import pytest
 
-from benchmarks.conftest import attach_query_report
+try:
+    from benchmarks.conftest import attach_query_report
+except ModuleNotFoundError:  # executed as a script: benchmarks/ is sys.path[0]
+    from conftest import attach_query_report
 from repro.blackbox.instances import HSPInstance
 from repro.core.hidden_normal import find_hidden_normal_subgroup
 from repro.groups.extraspecial import extraspecial_group
@@ -101,3 +115,23 @@ def test_bounded_nonabelian_quotient(benchmark, quotient_order, rng):
     assert instance.verify(result.generators)
     benchmark.extra_info["quotient_order"] = quotient_order
     attach_query_report(benchmark, result.query_report)
+
+
+SWEEPS = [
+    "hidden-normal-dihedral",
+    "hidden-normal-metacyclic",
+    "hidden-normal-symmetric",
+    "hidden-normal-extraspecial-center",
+    "hidden-normal-bounded-quotient",
+]
+
+
+def main(argv=None) -> int:
+    """Run the declared Theorem 8 sweeps through the experiment CLI."""
+    from repro.experiments.cli import run_sweeps
+
+    return run_sweeps(SWEEPS, argv, description=__doc__.splitlines()[0])
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

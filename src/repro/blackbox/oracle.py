@@ -62,6 +62,15 @@ class QueryCounter:
     def bump(self, key: str, amount: int = 1) -> None:
         self.extra[key] = self.extra.get(key, 0) + amount
 
+    #: The named (non-``extra``) counter fields, in snapshot order.
+    FIELDS = (
+        "classical_queries",
+        "quantum_queries",
+        "group_multiplications",
+        "group_inversions",
+        "identity_tests",
+    )
+
     def snapshot(self) -> Dict[str, int]:
         data = {
             "classical_queries": self.classical_queries,
@@ -72,6 +81,23 @@ class QueryCounter:
         }
         data.update(self.extra)
         return data
+
+    @classmethod
+    def from_snapshot(cls, data: Dict[str, int]) -> "QueryCounter":
+        """Rebuild a counter from a :meth:`snapshot` dictionary.
+
+        The round-trip ``QueryCounter.from_snapshot(c.snapshot())`` preserves
+        every counter (named fields and ``extra`` alike), which is what lets
+        the experiment harness merge the per-run JSON reports of worker
+        processes back into one aggregate with ``+`` / :func:`sum`.
+        """
+        counter = cls()
+        for key, value in data.items():
+            if key in cls.FIELDS:
+                setattr(counter, key, int(value))
+            else:
+                counter.extra[key] = int(value)
+        return counter
 
     def reset(self) -> None:
         self.classical_queries = 0
@@ -92,6 +118,12 @@ class QueryCounter:
         for key in set(self.extra) | set(other.extra):
             merged.extra[key] = self.extra.get(key, 0) + other.extra.get(key, 0)
         return merged
+
+    def __radd__(self, other) -> "QueryCounter":
+        # ``sum(counters)`` starts from the int 0; fold it into a fresh copy.
+        if other == 0:
+            return QueryCounter() + self
+        return NotImplemented
 
 
 class BlackBoxGroup(FiniteGroup):

@@ -60,13 +60,29 @@ class ElementaryAbelianTwoResult:
 
 
 def _validate_normal_subgroup(group: FiniteGroup, normal_generators: Sequence) -> None:
-    for n in normal_generators:
-        if not group.is_identity(group.multiply(n, n)):
+    # Batched like the Theorem 8/11 scans: the squares and the commuting
+    # checks are each one bulk product call, which counts exactly the
+    # multiplications of the scalar double loop (one per square, two per
+    # unordered pair) and is Cayley-engine accelerated when available.  On a
+    # *failing* validation the whole batch is counted before the GroupError,
+    # where the scalar loop stopped at the first offender — the run aborts
+    # either way, so only success-path totals are contractual.
+    gens = list(normal_generators)
+    if not gens:
+        return
+    squares = group.multiply_many(gens, gens)
+    for square in squares:
+        if not group.is_identity(square):
             raise GroupError("Theorem 13 requires every generator of N to have order dividing 2")
-    for i, a in enumerate(normal_generators):
-        for b in normal_generators[i + 1 :]:
-            if not group.equal(group.multiply(a, b), group.multiply(b, a)):
-                raise GroupError("Theorem 13 requires N to be Abelian")
+    lefts = [a for i, a in enumerate(gens) for _ in gens[i + 1 :]]
+    rights = [b for i, _ in enumerate(gens) for b in gens[i + 1 :]]
+    if not lefts:
+        return
+    forward = group.multiply_many(lefts, rights)
+    backward = group.multiply_many(rights, lefts)
+    for ab, ba in zip(forward, backward):
+        if not group.equal(ab, ba):
+            raise GroupError("Theorem 13 requires N to be Abelian")
 
 
 def solve_hsp_elementary_abelian_two(
@@ -226,20 +242,25 @@ def _transversal(group: FiniteGroup, quotient: GeneratedQuotient, bound: int) ->
     Breadth-first search over the generators; a candidate opens a new coset
     iff it is not ``N``-equivalent to any representative found so far.  Cost
     ``O(|G/N|^2)`` membership tests, polynomial in the theorem's ``|G/N|``
-    parameter.
+    parameter.  Each BFS level computes its frontier-times-generators
+    products in one ``multiply_many`` call — the same products, in the same
+    (v-major, g-minor) order, as the scalar double loop, so query totals are
+    unchanged; the short-circuiting coset-membership scans stay scalar for
+    the same reason.
     """
     gens = group.generators()
     representatives: List = [group.identity()]
     frontier = [group.identity()]
     while frontier:
         next_frontier: List = []
-        for v in frontier:
-            for g in gens:
-                candidate = group.multiply(v, g)
-                if not any(quotient.coset_equal(candidate, w) for w in representatives):
-                    representatives.append(candidate)
-                    next_frontier.append(candidate)
-                    if len(representatives) > bound:
-                        raise GroupError(f"|G/N| exceeds the bound {bound} supplied to the general path")
+        lefts = [v for v in frontier for _ in gens]
+        rights = gens * len(frontier)
+        candidates = group.multiply_many(lefts, rights)
+        for candidate in candidates:
+            if not any(quotient.coset_equal(candidate, w) for w in representatives):
+                representatives.append(candidate)
+                next_frontier.append(candidate)
+                if len(representatives) > bound:
+                    raise GroupError(f"|G/N| exceeds the bound {bound} supplied to the general path")
         frontier = next_frontier
     return representatives

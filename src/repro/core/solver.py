@@ -62,6 +62,24 @@ class HSPSolution:
     def __iter__(self):
         return iter(self.generators)
 
+    def to_json_dict(self, include_timing: bool = True) -> Dict[str, object]:
+        """A JSON-safe, deterministic serialization of the solution.
+
+        Generators are rendered through their canonical ``repr`` and sorted,
+        so two runs that recover the same subgroup generators produce the
+        same serialization regardless of discovery order; timing is the one
+        machine-dependent field and can be excluded for byte-identity
+        comparisons (the experiment harness stores it separately).
+        """
+        data: Dict[str, object] = {
+            "strategy": self.strategy,
+            "generators": sorted(repr(g) for g in self.generators),
+            "query_report": {key: int(value) for key, value in sorted(self.query_report.items())},
+        }
+        if include_timing:
+            data["elapsed_seconds"] = self.elapsed_seconds
+        return data
+
 
 def _base_group(instance: HSPInstance) -> FiniteGroup:
     group = instance.group
@@ -89,12 +107,19 @@ def solve_hsp(
     strategy: str = "auto",
     sampler: Optional[FourierSampler] = None,
     rng: Optional[np.random.Generator] = None,
+    use_engine: bool = True,
 ) -> HSPSolution:
     """Solve a hidden subgroup instance with the appropriate paper algorithm.
 
     ``strategy`` may be ``"auto"`` (promise-driven dispatch), or one of
     ``"abelian"``, ``"elementary_abelian_two"``, ``"small_commutator"``,
-    ``"hidden_normal"``, ``"classical"``.
+    ``"hidden_normal"``, ``"classical"``.  ``use_engine=False`` stops the
+    supporting strategies from *installing* a Cayley engine; an engine
+    already installed on the group (e.g. during instance construction) keeps
+    accelerating the batch APIs regardless.  The true scalar baseline —
+    instance construction included — is
+    :func:`repro.groups.engine.engine_disabled`, which the experiment
+    harness uses.  Query accounting is identical either way.
     """
     sampler = sampler if sampler is not None else FourierSampler(rng=rng)
     chosen = strategy if strategy != "auto" else _choose_strategy(instance)
@@ -126,6 +151,7 @@ def solve_hsp(
             sampler=sampler,
             commutator_elements=promises.get("commutator_elements"),
             commutator_bound=promises.get("commutator_bound", 1 << 14),
+            use_engine=use_engine,
         )
         generators = result.generators
     elif chosen == "hidden_normal":
@@ -134,6 +160,7 @@ def solve_hsp(
             oracle,
             sampler=sampler,
             quotient_bound=promises.get("quotient_bound"),
+            use_engine=use_engine,
         )
         generators = result.generators
     elif chosen == "classical":

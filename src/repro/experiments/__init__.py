@@ -1,0 +1,58 @@
+"""Parallel experiment orchestration for the HSP reproduction.
+
+The paper's algorithms are evaluated by oracle-query counts, so the
+empirical questions — success probability versus rounds, query scaling
+versus group order, strategy crossover points — are all answered by *sweeps*
+of many independent :func:`~repro.core.solver.solve_hsp` runs.  This
+subsystem turns the one-off benchmark scripts into a declarative, parallel,
+persistent experiment layer:
+
+``specs``
+    dataclasses describing a sweep — a grid of (group family, instance
+    parameters, solver options, seeds) — that expands deterministically into
+    picklable per-run descriptors;
+``registry``
+    the named instance builders that rebuild each HSP instance *inside* the
+    worker process (group oracles hold closures and are never pickled);
+``runner``
+    the process-pool executor: engines are per-group-instance, so workers
+    share nothing and per-run query reports merge by
+    ``QueryCounter.__add__``;
+``results``
+    per-run JSON rows and aggregate statistics, persisted as
+    ``BENCH_<name>.json``;
+``workloads``
+    the declared sweeps (including the migrated ``benchmarks/bench_*``
+    workloads);
+``cli``
+    the ``python -m repro.experiments run/list/report`` entry point.
+
+A sweep executed with ``workers=1`` and ``workers=N`` at the same seed
+produces byte-identical result rows: every run's randomness derives from its
+own :class:`numpy.random.SeedSequence`-spawned seed, not from execution
+order.
+"""
+
+from repro.experiments.registry import build_instance, families
+from repro.experiments.results import RunRecord, aggregate_records, bench_payload, load_bench, write_bench
+from repro.experiments.runner import execute_run, run_sweep
+from repro.experiments.specs import DEFAULT_SEED, RunSpec, SamplerSpec, SweepSpec
+from repro.experiments.workloads import WORKLOADS, get_workload
+
+__all__ = [
+    "DEFAULT_SEED",
+    "RunSpec",
+    "SamplerSpec",
+    "SweepSpec",
+    "RunRecord",
+    "WORKLOADS",
+    "aggregate_records",
+    "bench_payload",
+    "build_instance",
+    "execute_run",
+    "families",
+    "get_workload",
+    "load_bench",
+    "run_sweep",
+    "write_bench",
+]

@@ -1,0 +1,162 @@
+"""The ``python -m repro.experiments`` command line.
+
+Three subcommands make sweeps reproducible from a shell:
+
+``list``
+    the declared workloads and registered instance families;
+``run NAME``
+    expand and execute a declared sweep (optionally on a process pool) and
+    write ``BENCH_<name>.json``;
+``report NAME-or-PATH``
+    print the per-run rows and the aggregate of a produced BENCH file.
+
+Examples::
+
+    python -m repro.experiments list
+    python -m repro.experiments run smoke --workers 2 --out .benchmarks
+    python -m repro.experiments report smoke --out .benchmarks
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.experiments.registry import families
+from repro.experiments.results import bench_path, load_bench
+from repro.experiments.runner import run_sweep
+from repro.experiments.workloads import WORKLOADS, get_workload
+
+__all__ = ["main", "run_sweeps"]
+
+
+def run_sweeps(names: List[str], argv: Optional[List[str]] = None, description: str = "") -> int:
+    """Run a fixed list of declared sweeps with shared ``--workers``/``--out`` flags.
+
+    The entry point behind the ``benchmarks/bench_*.py`` script wrappers:
+    parses the common options once and executes each named sweep through the
+    ``run`` subcommand, stopping at the first failure.
+    """
+    parser = argparse.ArgumentParser(description=description or f"run sweeps: {', '.join(names)}")
+    parser.add_argument("--workers", type=int, default=1, help="worker processes (default 1)")
+    parser.add_argument("--out", default=".", help="output directory for the BENCH files")
+    args = parser.parse_args(argv)
+    for name in names:
+        status = main(["run", name, "--workers", str(args.workers), "--out", args.out])
+        if status:
+            return status
+    return 0
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="declarative, parallel, persistent HSP experiment sweeps",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="execute a declared sweep and write BENCH_<name>.json")
+    run_parser.add_argument("name", help="a workload name from `list`")
+    run_parser.add_argument("--workers", type=int, default=1, help="worker processes (default 1)")
+    run_parser.add_argument("--out", default=".", help="output directory for the BENCH file")
+    run_parser.add_argument("--seed", type=int, default=None, help="override the sweep master seed")
+    run_parser.add_argument("--repeats", type=int, default=None, help="override the repeats per grid point")
+
+    sub.add_parser("list", help="list declared workloads and instance families")
+
+    report_parser = sub.add_parser("report", help="summarise a produced BENCH_<name>.json")
+    report_parser.add_argument("target", help="a workload name (resolved inside --out) or a path to a BENCH file")
+    report_parser.add_argument("--out", default=".", help="directory searched for BENCH_<name>.json")
+    return parser
+
+
+def _command_run(args) -> int:
+    try:
+        spec = get_workload(args.name).with_overrides(seed=args.seed, repeats=args.repeats)
+    except (KeyError, ValueError) as error:
+        print(str(error), file=sys.stderr)
+        return 1
+    path, payload = run_sweep(spec, workers=args.workers, out_dir=args.out)
+    aggregate = payload["aggregate"]
+    print(f"sweep {spec.name!r}: {aggregate['runs']} runs on {payload['workers']} worker(s)")
+    print(
+        f"  successes: {aggregate['successes']}/{aggregate['runs']}"
+        f"  wall time: {aggregate['wall_time_seconds']:.3f}s"
+    )
+    totals = aggregate["query_totals"]
+    for key in ("classical_queries", "quantum_queries", "group_multiplications"):
+        if key in totals:
+            print(f"  {key}: {totals[key]}")
+    print(f"  wrote {path}")
+    if aggregate["successes"] != aggregate["runs"]:
+        print(
+            f"  FAILED: {aggregate['runs'] - aggregate['successes']} run(s) recovered a wrong subgroup",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _command_list() -> int:
+    print("declared workloads:")
+    width = max(len(name) for name in WORKLOADS)
+    for name in sorted(WORKLOADS):
+        spec = WORKLOADS[name]
+        runs = len(spec.expand())
+        print(f"  {name:<{width}}  [{spec.family}, {runs} runs]  {spec.description}")
+    print("\ninstance families:")
+    registered = families()
+    width = max(len(name) for name in registered)
+    for name, description in registered.items():
+        print(f"  {name:<{width}}  {description}")
+    return 0
+
+
+def _command_report(args) -> int:
+    target = args.target
+    path = target if os.path.exists(target) else bench_path(args.out, target)
+    if not os.path.exists(path):
+        print(f"no BENCH file at {target!r} or {path!r}; run the sweep first", file=sys.stderr)
+        return 1
+    payload = load_bench(path)
+    if "sweep" not in payload or "rows" not in payload:
+        # e.g. BENCH_engine.json, written by benchmarks/bench_engine.py with
+        # its own comparison schema rather than the sweep-payload schema.
+        print(
+            f"{path} is not a sweep BENCH file (missing 'sweep'/'rows'); "
+            f"it reports {payload.get('benchmark', 'an unknown benchmark')!r}",
+            file=sys.stderr,
+        )
+        return 1
+    spec = payload["sweep"]
+    print(f"sweep {spec['name']!r} (family {spec['family']}, seed {spec['seed']}, workers {payload['workers']})")
+    timings = {entry["index"]: entry["wall_time_seconds"] for entry in payload["timings"]}
+    header = f"  {'idx':>3}  {'params':<28}  {'strategy':<22}  {'ok':<3}  {'quantum':>7}  {'classical':>9}  {'time':>8}"
+    print(header)
+    for row in payload["rows"]:
+        report = row["query_report"]
+        params = ", ".join(f"{key}={value}" for key, value in sorted(row["params"].items())) or "-"
+        print(
+            f"  {row['index']:>3}  {params:<28.28}  {row['strategy']:<22.22}  "
+            f"{'yes' if row['success'] else 'NO':<3}  {report.get('quantum_queries', 0):>7}  "
+            f"{report.get('classical_queries', 0):>9}  {timings.get(row['index'], 0.0) * 1e3:>6.1f}ms"
+        )
+    aggregate = payload["aggregate"]
+    print(
+        f"  aggregate: {aggregate['successes']}/{aggregate['runs']} ok, "
+        f"quantum={aggregate['query_totals'].get('quantum_queries', 0)}, "
+        f"classical={aggregate['query_totals'].get('classical_queries', 0)}, "
+        f"wall={aggregate['wall_time_seconds']:.3f}s"
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "list":
+        return _command_list()
+    return _command_report(args)

@@ -1,0 +1,128 @@
+"""Persistent experiment results.
+
+One :class:`RunRecord` per ``solve_hsp`` run; a sweep's records are written
+to ``BENCH_<name>.json`` together with aggregate statistics.  The payload
+separates the *deterministic* part (the ``rows``: strategy, query report,
+recovered generators, success flag, seed) from the *machine-dependent* part
+(``timings``), so a sweep rerun at the same seed — with any worker count —
+produces byte-identical rows, and the timing data still rides along for the
+reports.
+
+Aggregation merges the per-run query reports through
+``QueryCounter.from_snapshot`` and ``QueryCounter.__add__`` — the aggregate
+``query_totals`` in the file is, by construction and by test, the exact sum
+of the per-run reports.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.blackbox.oracle import QueryCounter
+
+__all__ = [
+    "RunRecord",
+    "aggregate_records",
+    "bench_payload",
+    "bench_path",
+    "load_bench",
+    "rows_bytes",
+    "write_bench",
+]
+
+
+@dataclass
+class RunRecord:
+    """The outcome of one experiment run (picklable, JSON-ready)."""
+
+    sweep: str
+    index: int
+    family: str
+    params: Dict[str, object]
+    repeat: int
+    seed: int
+    strategy: str
+    success: bool
+    generators: List[str]
+    query_report: Dict[str, int]
+    wall_time_seconds: float = 0.0
+
+    def row(self) -> Dict[str, object]:
+        """The deterministic JSON row (everything except wall time)."""
+        return {
+            "index": self.index,
+            "family": self.family,
+            "params": self.params,
+            "repeat": self.repeat,
+            "seed": self.seed,
+            "strategy": self.strategy,
+            "success": self.success,
+            "generators": list(self.generators),
+            "query_report": {key: int(value) for key, value in sorted(self.query_report.items())},
+        }
+
+
+def aggregate_records(records: Sequence[RunRecord]) -> Dict[str, object]:
+    """Summary statistics of a sweep: success rate, merged query totals, time."""
+    totals = sum(
+        (QueryCounter.from_snapshot(record.query_report) for record in records), QueryCounter()
+    )
+    successes = sum(1 for record in records if record.success)
+    by_strategy: Dict[str, int] = {}
+    for record in records:
+        by_strategy[record.strategy] = by_strategy.get(record.strategy, 0) + 1
+    return {
+        "runs": len(records),
+        "successes": successes,
+        "success_rate": (successes / len(records)) if records else 1.0,
+        "strategies": dict(sorted(by_strategy.items())),
+        "query_totals": {key: int(value) for key, value in sorted(totals.snapshot().items())},
+        "wall_time_seconds": sum(record.wall_time_seconds for record in records),
+    }
+
+
+def bench_payload(spec, workers: int, records: Sequence[RunRecord]) -> Dict[str, object]:
+    """The full ``BENCH_<name>.json`` payload for a finished sweep."""
+    ordered = sorted(records, key=lambda record: record.index)
+    return {
+        "sweep": spec.to_json_dict(),
+        "workers": int(workers),
+        "rows": [record.row() for record in ordered],
+        "timings": [
+            {"index": record.index, "wall_time_seconds": record.wall_time_seconds}
+            for record in ordered
+        ],
+        "aggregate": aggregate_records(ordered),
+    }
+
+
+def bench_path(out_dir: str, name: str) -> str:
+    safe = name.replace("/", "-").replace(" ", "-")
+    return os.path.join(out_dir, f"BENCH_{safe}.json")
+
+
+def write_bench(out_dir: str, name: str, payload: Dict[str, object]) -> str:
+    """Write the payload to ``<out_dir>/BENCH_<name>.json`` and return the path."""
+    os.makedirs(out_dir, exist_ok=True)
+    path = bench_path(out_dir, name)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_bench(path: str) -> Dict[str, object]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def rows_bytes(payload: Dict[str, object]) -> bytes:
+    """The canonical byte serialization of the deterministic rows.
+
+    Two sweep executions are considered identical exactly when these bytes
+    agree; the determinism tests compare them across worker counts.
+    """
+    return json.dumps(payload["rows"], sort_keys=True).encode("utf-8")

@@ -1,0 +1,128 @@
+"""The process-pool sweep runner.
+
+``execute_run`` is the complete life of one experiment run — rebuild the
+instance from its descriptor, solve, verify, record — and is a module-level
+function of one picklable argument, so it runs unchanged inline or on a
+``ProcessPoolExecutor`` worker.  Engines, oracles and counters are created
+inside the run; workers share no mutable state, and the per-run query
+reports merge afterwards through ``QueryCounter`` addition.
+
+Determinism: a run's randomness comes only from ``RunSpec.seed`` (one
+generator drives instance construction and Fourier sampling, in that fixed
+order), so results are independent of worker count and scheduling.  Pool
+results are collected with ``Executor.map``, which preserves input order.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import nullcontext
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.blackbox.oracle import BlackBoxGroup
+from repro.core.solver import solve_hsp
+from repro.experiments.registry import build_instance
+from repro.experiments.results import RunRecord, bench_payload, write_bench
+from repro.experiments.specs import RunSpec, SamplerSpec, SweepSpec
+from repro.groups.engine import engine_cache, engine_disabled
+from repro.quantum.sampling import FourierSampler
+
+__all__ = ["execute_run", "make_sampler", "run_sweep"]
+
+#: Recognised ``solver_options`` keys.  Strategy, sampler and engine use are
+#: first-class ``SweepSpec`` fields; instance parameters belong in the grid;
+#: structural promises belong to the registry family.  Validated here so a
+#: typo fails the sweep with a clear message instead of a worker TypeError.
+SUPPORTED_SOLVER_OPTIONS = frozenset({"engine_cache_dir"})
+
+
+def make_sampler(spec: SamplerSpec, rng: np.random.Generator, pool=None) -> FourierSampler:
+    """The Fourier sampler described by ``spec``, seeded with ``rng``."""
+    return FourierSampler(
+        backend=spec.backend,
+        rng=rng,
+        statevector_limit=spec.statevector_limit,
+        batch=spec.batch,
+        shards=spec.shards,
+        shard_pool=pool,
+    )
+
+
+def execute_run(run: RunSpec) -> RunRecord:
+    """Execute one run descriptor; the worker-side entry point."""
+    rng = np.random.default_rng(run.seed)
+    options = run.options_dict()
+    unknown = set(options) - SUPPORTED_SOLVER_OPTIONS
+    if unknown:
+        raise ValueError(
+            f"unsupported solver_options {sorted(unknown)}; supported: "
+            f"{sorted(SUPPORTED_SOLVER_OPTIONS)} (instance parameters go in the "
+            "grid, promises in the registry family)"
+        )
+    cache_dir = options.pop("engine_cache_dir", None)
+    if not run.engine:
+        # The scalar baseline: no engines anywhere (a cache_dir option is
+        # meaningless without an engine and is deliberately ignored).
+        context = engine_disabled()
+    elif cache_dir is not None:
+        # Instance builders install engines implicitly while constructing
+        # coset-label oracles; the context makes those installations back
+        # their dense tables with the sweep's persistent cache.
+        context = engine_cache(str(cache_dir))
+    else:
+        context = nullcontext()
+    with context:
+        instance = build_instance(run.family, run.params_dict(), rng)
+        base = instance.group.group if isinstance(instance.group, BlackBoxGroup) else instance.group
+        sampler = make_sampler(run.sampler, rng)
+        start = time.perf_counter()
+        solution = solve_hsp(
+            instance,
+            strategy=run.strategy,
+            sampler=sampler,
+            use_engine=run.engine,
+        )
+        wall = time.perf_counter() - start
+        success = instance.verify(solution.generators or [base.identity()])
+    serialized = solution.to_json_dict(include_timing=False)
+    return RunRecord(
+        sweep=run.sweep,
+        index=run.index,
+        family=run.family,
+        params=run.params_dict(),
+        repeat=run.repeat,
+        seed=run.seed,
+        strategy=serialized["strategy"],
+        success=bool(success),
+        generators=serialized["generators"],
+        query_report=serialized["query_report"],
+        wall_time_seconds=wall,
+    )
+
+
+def run_sweep(
+    spec: SweepSpec,
+    workers: int = 1,
+    out_dir: Optional[str] = ".",
+) -> Tuple[Optional[str], Dict[str, object]]:
+    """Execute a sweep and persist its ``BENCH_<name>.json``.
+
+    ``workers > 1`` fans the expanded run list out over a process pool; the
+    rows of the resulting payload are byte-identical to a ``workers=1``
+    execution of the same spec.  ``out_dir=None`` skips persistence and just
+    returns the payload.
+    """
+    runs = spec.expand()
+    if workers <= 1:
+        records = [execute_run(run) for run in runs]
+    else:
+        with ProcessPoolExecutor(max_workers=int(workers)) as pool:
+            records = list(pool.map(execute_run, runs))
+    payload = bench_payload(spec, workers, records)
+    if out_dir is None:
+        return None, payload
+    path = write_bench(out_dir, spec.name, payload)
+    return path, payload

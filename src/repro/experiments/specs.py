@@ -1,0 +1,198 @@
+"""Declarative sweep specifications.
+
+A :class:`SweepSpec` names a group family from the registry, a parameter
+grid, a repeat count and the solver/sampler configuration; :meth:`expand`
+turns it into the deterministic list of :class:`RunSpec` descriptors the
+process-pool runner executes.  Everything here is immutable, hashable and
+picklable — a run descriptor is all a worker process receives.
+
+Per-run seeds are derived with :class:`numpy.random.SeedSequence` from the
+sweep's master seed and the run index, so the randomness of a run depends
+only on its position in the expansion, never on which worker executes it or
+in what order — the foundation of the ``workers=1`` / ``workers=N``
+byte-identity guarantee.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["DEFAULT_SEED", "SamplerSpec", "SweepSpec", "RunSpec", "derive_seed"]
+
+#: The suite-wide master seed (the paper's arXiv submission date).
+DEFAULT_SEED = 20010202
+
+
+def derive_seed(master: int, index: int) -> int:
+    """The per-run seed: deterministic, well-mixed, platform independent."""
+    return int(np.random.SeedSequence([int(master), int(index)]).generate_state(1, np.uint64)[0])
+
+
+def _freeze(value):
+    """Recursively convert lists/tuples to tuples (hashable, picklable)."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    return value
+
+
+def _thaw(value):
+    """Recursively convert tuples back to lists (JSON-friendly)."""
+    if isinstance(value, tuple):
+        return [_thaw(v) for v in value]
+    return value
+
+
+@dataclass(frozen=True)
+class SamplerSpec:
+    """Configuration of the :class:`~repro.quantum.sampling.FourierSampler`."""
+
+    backend: str = "auto"
+    batch: bool = True
+    shards: Optional[int] = None
+    statevector_limit: int = 1 << 14
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "backend": self.backend,
+            "batch": self.batch,
+            "shards": self.shards,
+            "statevector_limit": self.statevector_limit,
+        }
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """A picklable descriptor of one ``solve_hsp`` run.
+
+    Workers receive nothing else: the instance (group, oracle, promises) is
+    rebuilt inside the worker from ``family``/``params``/``seed`` through the
+    registry, so no closure or group object ever crosses a process boundary.
+    """
+
+    sweep: str
+    index: int
+    family: str
+    params: Tuple[Tuple[str, object], ...]
+    repeat: int
+    seed: int
+    strategy: str = "auto"
+    sampler: SamplerSpec = field(default_factory=SamplerSpec)
+    solver_options: Tuple[Tuple[str, object], ...] = ()
+    engine: bool = True
+
+    def params_dict(self) -> Dict[str, object]:
+        return dict(self.params)
+
+    def options_dict(self) -> Dict[str, object]:
+        return dict(self.solver_options)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative sweep: family x parameter grid x repeats.
+
+    ``grid`` maps parameter names to value tuples; expansion walks the
+    cartesian product with the keys in sorted order, then the repeats, so
+    run indices (and hence seeds) are a pure function of the spec.
+    ``engine=False`` declares the scalar baseline configuration: instances
+    are built and solved with the Cayley engine disabled
+    (:func:`repro.groups.engine.engine_disabled`).
+    """
+
+    name: str
+    family: str
+    grid: Tuple[Tuple[str, Tuple], ...] = ()
+    repeats: int = 1
+    seed: int = DEFAULT_SEED
+    strategy: str = "auto"
+    sampler: SamplerSpec = field(default_factory=SamplerSpec)
+    solver_options: Tuple[Tuple[str, object], ...] = ()
+    engine: bool = True
+    description: str = ""
+
+    @classmethod
+    def from_grid(
+        cls,
+        name: str,
+        family: str,
+        grid: Mapping[str, Sequence],
+        **kwargs,
+    ) -> "SweepSpec":
+        """Build a spec from a plain ``{param: [values...]}`` mapping."""
+        frozen = tuple(
+            sorted((key, tuple(_freeze(v) for v in values)) for key, values in grid.items())
+        )
+        options = kwargs.pop("solver_options", ())
+        if isinstance(options, Mapping):
+            options = tuple(sorted((k, _freeze(v)) for k, v in options.items()))
+        return cls(name=name, family=family, grid=frozen, solver_options=options, **kwargs)
+
+    def with_overrides(
+        self,
+        seed: Optional[int] = None,
+        repeats: Optional[int] = None,
+        name: Optional[str] = None,
+    ) -> "SweepSpec":
+        """A copy with CLI-level overrides applied."""
+        spec = self
+        if seed is not None:
+            if int(seed) < 0:
+                raise ValueError(f"seed must be non-negative, got {seed}")
+            spec = replace(spec, seed=int(seed))
+        if repeats is not None:
+            if int(repeats) < 1:
+                raise ValueError(f"repeats must be a positive integer, got {repeats}")
+            spec = replace(spec, repeats=int(repeats))
+        if name is not None:
+            spec = replace(spec, name=name)
+        return spec
+
+    def points(self) -> List[Dict[str, object]]:
+        """The grid points, in deterministic (sorted-key, row-major) order."""
+        if not self.grid:
+            return [{}]
+        keys = [key for key, _ in self.grid]
+        value_lists = [list(values) for _, values in self.grid]
+        return [dict(zip(keys, combo)) for combo in itertools.product(*value_lists)]
+
+    def expand(self) -> List[RunSpec]:
+        """The full deterministic run list of the sweep."""
+        runs: List[RunSpec] = []
+        index = 0
+        for point in self.points():
+            for repeat in range(self.repeats):
+                runs.append(
+                    RunSpec(
+                        sweep=self.name,
+                        index=index,
+                        family=self.family,
+                        params=tuple(sorted(point.items())),
+                        repeat=repeat,
+                        seed=derive_seed(self.seed, index),
+                        strategy=self.strategy,
+                        sampler=self.sampler,
+                        solver_options=self.solver_options,
+                        engine=self.engine,
+                    )
+                )
+                index += 1
+        return runs
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """A JSON-safe description of the sweep (stored in the BENCH file)."""
+        return {
+            "name": self.name,
+            "family": self.family,
+            "grid": {key: _thaw(values) for key, values in self.grid},
+            "repeats": self.repeats,
+            "seed": self.seed,
+            "strategy": self.strategy,
+            "sampler": self.sampler.to_json_dict(),
+            "solver_options": {key: _thaw(value) for key, value in self.solver_options},
+            "engine": self.engine,
+            "description": self.description,
+        }

@@ -1,0 +1,182 @@
+"""The declared sweeps of the experiment suite.
+
+These are the migrated workloads of ``benchmarks/bench_hidden_normal.py``
+(E4), ``benchmarks/bench_extraspecial.py`` (E6) and
+``benchmarks/bench_engine.py``, plus a fast ``smoke`` sweep for CI.  The
+benchmark scripts are thin wrappers over these specs; ``python -m
+repro.experiments list`` prints the catalogue and ``run <name>`` executes a
+sweep reproducibly from the command line.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.experiments.specs import SamplerSpec, SweepSpec
+
+__all__ = ["WORKLOADS", "ENGINE_COMPARISONS", "declare", "get_workload"]
+
+WORKLOADS: Dict[str, SweepSpec] = {}
+
+
+def declare(spec: SweepSpec) -> SweepSpec:
+    if spec.name in WORKLOADS:
+        raise ValueError(f"duplicate workload name {spec.name!r}")
+    WORKLOADS[spec.name] = spec
+    return spec
+
+
+def get_workload(name: str) -> SweepSpec:
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        known = ", ".join(sorted(WORKLOADS))
+        raise KeyError(f"unknown workload {name!r}; declared workloads: {known}") from None
+
+
+# -- CI smoke sweep -----------------------------------------------------------
+
+declare(
+    SweepSpec.from_grid(
+        "smoke",
+        "dihedral_rotation",
+        {"n": [8, 16]},
+        repeats=2,
+        description="tiny 2-point hidden-normal sweep; the CI smoke workload",
+    )
+)
+
+# -- E4: hidden normal subgroups (Theorem 8) ---------------------------------
+
+declare(
+    SweepSpec.from_grid(
+        "hidden-normal-dihedral",
+        "dihedral_rotation",
+        {"n": [8, 32, 128, 512]},
+        description="N = <r> in D_n: Abelian quotient Z_2, scaling in log |G|",
+    )
+)
+
+declare(
+    SweepSpec.from_grid(
+        "hidden-normal-metacyclic",
+        "metacyclic_core",
+        {"pq": [(7, 3), (31, 5), (127, 7)]},
+        description="N = Z_p hidden in Z_p : Z_q (solvable, Abelian quotient Z_q)",
+    )
+)
+
+declare(
+    SweepSpec.from_grid(
+        "hidden-normal-symmetric",
+        "symmetric_alternating",
+        {"n": [4, 5, 6]},
+        description="permutation groups: N = A_n hidden in S_n",
+    )
+)
+
+declare(
+    SweepSpec.from_grid(
+        "hidden-normal-extraspecial-center",
+        "extraspecial_center",
+        {"p": [3, 5, 7]},
+        description="the center of the extraspecial group of order p^3",
+    )
+)
+
+declare(
+    SweepSpec.from_grid(
+        "hidden-normal-bounded-quotient",
+        "dihedral_bounded_quotient",
+        {"d": [3, 5, 7]},
+        description="the Schreier path: <r^d> in D_{11d} with dihedral quotient",
+    )
+)
+
+# -- E6: extraspecial p-groups (Theorem 11 / Corollary 12) -------------------
+
+declare(
+    SweepSpec.from_grid(
+        "extraspecial-prime",
+        "extraspecial_random",
+        {"p": [3, 5, 7, 11, 13]},
+        description="Corollary 12 sweep: random H, |G'| = p grows",
+    )
+)
+
+declare(
+    SweepSpec.from_grid(
+        "extraspecial-two-generators",
+        "extraspecial_random",
+        {"p": [5], "generators": [2]},
+        description="a larger hidden subgroup (two random generators) at p = 5",
+    )
+)
+
+declare(
+    SweepSpec.from_grid(
+        "extraspecial-heisenberg",
+        "extraspecial_random",
+        {"p": [3], "rank": [1, 2, 3]},
+        description="H_3(n) of order 3^{2n+1}: p fixed, log |G| grows with rank",
+    )
+)
+
+# -- Theorem 3 / Theorem 13 coverage -----------------------------------------
+
+declare(
+    SweepSpec.from_grid(
+        "abelian-random",
+        "abelian_random",
+        {"moduli": [(8, 9), (16, 9, 5), (32, 27)]},
+        repeats=2,
+        description="random Abelian HSP instances (Theorem 3)",
+    )
+)
+
+declare(
+    SweepSpec.from_grid(
+        "wreath-theorem13",
+        "wreath_random",
+        {"k": [2, 3]},
+        description="Z_2^k wr Z_2 with the Theorem 13 cyclic-quotient path",
+    )
+)
+
+# -- engine-vs-scalar comparison pairs (bench_engine.py) ---------------------
+
+#: Pairs of (engine configuration, scalar configuration) sweeps used by the
+#: engine benchmark.  The scalar member disables the Cayley engine and the
+#: batch sampler — the pre-engine execution profile — on identical instances
+#: and seeds, so aggregate wall-clock ratios measure the engine alone.
+ENGINE_COMPARISONS: List[Dict[str, str]] = []
+
+
+def _declare_comparison(label: str, family: str, grid, repeats: int) -> None:
+    engine_name = f"engine-{label}"
+    scalar_name = f"scalar-{label}"
+    declare(
+        SweepSpec.from_grid(
+            engine_name,
+            family,
+            grid,
+            repeats=repeats,
+            description=f"engine configuration of the {label} comparison",
+        )
+    )
+    declare(
+        SweepSpec.from_grid(
+            scalar_name,
+            family,
+            grid,
+            repeats=repeats,
+            engine=False,
+            sampler=SamplerSpec(batch=False),
+            description=f"scalar (pre-engine) configuration of the {label} comparison",
+        )
+    )
+    ENGINE_COMPARISONS.append({"label": label, "engine": engine_name, "scalar": scalar_name})
+
+
+_declare_comparison("extraspecial", "extraspecial_random", {"p": [7]}, repeats=3)
+_declare_comparison("hidden-normal", "dihedral_rotation", {"n": [128]}, repeats=3)

@@ -32,13 +32,16 @@ which keeps the per-element code path as the fallback.
 
 from __future__ import annotations
 
+import hashlib
+import os
+from contextlib import contextmanager
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.groups.base import FiniteGroup, GroupError
 
-__all__ = ["CayleyBackend", "get_engine", "maybe_engine"]
+__all__ = ["CayleyBackend", "get_engine", "maybe_engine", "engine_disabled", "engine_cache"]
 
 #: Largest group order for which the dense (lazily filled) Cayley table is used.
 DEFAULT_TABLE_LIMIT = 4096
@@ -83,11 +86,26 @@ class CayleyBackend:
         Orders up to this use ``mode == "table"`` (a lazily filled dense
         NumPy Cayley table over the *full* element list); larger groups use
         ``mode == "sparse"`` (per-pair memoisation, on-demand interning).
+    cache_dir:
+        Optional directory for *persistent* dense tables.  When set (and the
+        group runs in table mode), the Cayley table and inverse table are
+        memory-mapped files keyed by a digest of the group description (name,
+        order and the canonical BFS element encodings), so a later process
+        building an engine for the same group reopens the already-filled
+        tables and skips the fill-in cost entirely.  ``None`` (the default)
+        keeps everything in memory.
     """
 
-    def __init__(self, group: FiniteGroup, table_limit: int = DEFAULT_TABLE_LIMIT):
+    def __init__(
+        self,
+        group: FiniteGroup,
+        table_limit: int = DEFAULT_TABLE_LIMIT,
+        cache_dir: Optional[str] = None,
+    ):
         self.group = group
         self.table_limit = table_limit
+        self.cache_dir = cache_dir
+        self.cache_key: Optional[str] = None
         self._elements: List = []
         self._ids: Dict = {}
         self._mul_cache: Dict[Tuple[int, int], int] = {}
@@ -105,9 +123,75 @@ class CayleyBackend:
             for element in group.element_list():
                 self.intern(element)
             n = len(self._elements)
-            self._table = np.full((n, n), -1, dtype=np.int32)
-            self._inv_table = np.full(n, -1, dtype=np.int32)
+            if cache_dir is not None:
+                self._attach_persistent_tables(cache_dir, n)
+            if self._table is None:
+                self._table = np.full((n, n), -1, dtype=np.int32)
+                self._inv_table = np.full(n, -1, dtype=np.int32)
         self.identity_id = self.intern(group.identity())
+
+    # -- persistent dense tables -------------------------------------------------
+    def _cache_digest(self) -> str:
+        """A stable key for the group's dense id assignment.
+
+        Hashes the group name, the order and every element encoding in
+        interning (BFS) order; two processes that enumerate the same group
+        the same way — enumeration is deterministic given the generators —
+        agree on the digest and therefore share id semantics, while any
+        drift in the element list changes the key and sidesteps the stale
+        file.
+        """
+        hasher = hashlib.sha256()
+        hasher.update(self.group.name.encode())
+        hasher.update(str(len(self._elements)).encode())
+        for element in self._elements:
+            hasher.update(self.group.encode(element))
+            hasher.update(b"\x00")
+        return hasher.hexdigest()[:32]
+
+    def _attach_persistent_tables(self, cache_dir: str, n: int) -> None:
+        from numpy.lib.format import open_memmap
+
+        os.makedirs(cache_dir, exist_ok=True)
+        digest = self._cache_digest()
+        self.cache_key = digest
+        table_path = os.path.join(cache_dir, f"cayley-{digest}-table.npy")
+        inv_path = os.path.join(cache_dir, f"cayley-{digest}-inv.npy")
+        if os.path.exists(table_path) and os.path.exists(inv_path):
+            table = open_memmap(table_path, mode="r+")
+            inv_table = open_memmap(inv_path, mode="r+")
+            if (
+                table.shape == (n, n)
+                and table.dtype == np.int32
+                and inv_table.shape == (n,)
+                and inv_table.dtype == np.int32
+            ):
+                self._table = table
+                self._inv_table = inv_table
+                return
+            # Shape/dtype drift (e.g. a truncated write): fall through and
+            # recreate the files from scratch.
+        # Create atomically: initialise under a per-process temp name and
+        # os.replace into place, so a concurrent builder of the same group
+        # never maps a half-initialised file.  (The rename preserves our
+        # inode, so this mapping keeps writing to the published file.)
+        tmp_suffix = f".tmp-{os.getpid()}"
+        table = open_memmap(table_path + tmp_suffix, mode="w+", dtype=np.int32, shape=(n, n))
+        table[:] = -1
+        table.flush()
+        inv_table = open_memmap(inv_path + tmp_suffix, mode="w+", dtype=np.int32, shape=(n,))
+        inv_table[:] = -1
+        inv_table.flush()
+        os.replace(table_path + tmp_suffix, table_path)
+        os.replace(inv_path + tmp_suffix, inv_path)
+        self._table = table
+        self._inv_table = inv_table
+
+    def flush_cache(self) -> None:
+        """Flush memory-mapped tables to disk (no-op for in-memory engines)."""
+        for array in (self._table, self._inv_table):
+            if isinstance(array, np.memmap):
+                array.flush()
 
     # -- interning ------------------------------------------------------------
     def intern(self, element) -> int:
@@ -425,23 +509,79 @@ class CayleyBackend:
         return f"<CayleyBackend {self.group.name} mode={self.mode} interned={len(self._elements)}>"
 
 
-def get_engine(group: FiniteGroup, table_limit: int = DEFAULT_TABLE_LIMIT) -> CayleyBackend:
+def get_engine(
+    group: FiniteGroup,
+    table_limit: int = DEFAULT_TABLE_LIMIT,
+    cache_dir: Optional[str] = None,
+) -> CayleyBackend:
     """The engine installed on ``group``, building (and installing) one if absent.
 
     Installation makes the group's default ``multiply_many``/``inverse_many``
     batch methods engine-accelerated (see :class:`~repro.groups.base.FiniteGroup`).
+    ``cache_dir`` only matters when a new engine is built — an engine that is
+    already installed keeps whatever backing store it was created with.
     """
     engine = getattr(group, "_cayley_engine", None)
     if engine is None:
-        engine = CayleyBackend(group, table_limit=table_limit)
+        engine = CayleyBackend(group, table_limit=table_limit, cache_dir=cache_dir)
         group._cayley_engine = engine
     return engine
+
+
+#: When true, :func:`maybe_engine` declines to build or return engines; set
+#: through :func:`engine_disabled` to force the scalar per-element paths.
+_ENGINE_DISABLED = False
+
+
+@contextmanager
+def engine_disabled():
+    """Context manager forcing the engine-less scalar configuration.
+
+    While active, :func:`maybe_engine` returns ``None`` everywhere — instance
+    construction falls back to min-encoding coset labels and the solvers'
+    batch APIs run as plain scalar loops.  This is how the experiment
+    harness realises its pre-engine baseline configuration without threading
+    a flag through every construction site.  Query accounting is unaffected.
+    """
+    global _ENGINE_DISABLED
+    previous = _ENGINE_DISABLED
+    _ENGINE_DISABLED = True
+    try:
+        yield
+    finally:
+        _ENGINE_DISABLED = previous
+
+
+#: Default ``cache_dir`` applied by :func:`maybe_engine` when the caller does
+#: not pass one; set through :func:`engine_cache`.
+_DEFAULT_CACHE_DIR: Optional[str] = None
+
+
+@contextmanager
+def engine_cache(cache_dir: str):
+    """Context manager giving implicitly built engines a persistent table.
+
+    Every :func:`maybe_engine` call inside the context that *builds* a new
+    engine backs its dense table with ``cache_dir`` (see
+    :class:`CayleyBackend`).  Instance-construction sites install engines
+    implicitly (e.g. ``HSPInstance.from_subgroup`` through the coset-label
+    builder), so this is how the experiment runner threads a sweep-level
+    cache directory to them without widening every signature.
+    """
+    global _DEFAULT_CACHE_DIR
+    previous = _DEFAULT_CACHE_DIR
+    _DEFAULT_CACHE_DIR = str(cache_dir)
+    try:
+        yield
+    finally:
+        _DEFAULT_CACHE_DIR = previous
 
 
 def maybe_engine(
     group: FiniteGroup,
     table_limit: int = DEFAULT_TABLE_LIMIT,
     intern_limit: int = DEFAULT_INTERN_LIMIT,
+    cache_dir: Optional[str] = None,
 ) -> Optional[CayleyBackend]:
     """A guarded :func:`get_engine`: ``None`` when no usable encoding exists.
 
@@ -452,6 +592,10 @@ def maybe_engine(
     memoizes the *uncounted* arithmetic — the wrapper keeps doing the (bulk)
     accounting.
     """
+    if _ENGINE_DISABLED:
+        return None
+    if cache_dir is None:
+        cache_dir = _DEFAULT_CACHE_DIR
     inner = getattr(group, "group", None)
     if isinstance(inner, FiniteGroup):
         group = inner
@@ -465,4 +609,4 @@ def maybe_engine(
         hash(group.identity())
     except TypeError:
         return None
-    return get_engine(group, table_limit=table_limit)
+    return get_engine(group, table_limit=table_limit, cache_dir=cache_dir)

@@ -182,6 +182,20 @@ class FourierSampler:
         reproduces the original per-round scalar simulation (the comparison
         baseline of ``benchmarks/bench_engine.py``).  The sampling
         distribution and the query accounting are identical either way.
+    shards:
+        Default shard count for batch requests.  A sharded request draws all
+        randomness up front on the sampler's own generator — in exactly the
+        order the unsharded batch path would — and splits only the
+        coefficient-to-sample lattice combination into per-block-of-rounds
+        tasks, so the returned samples and the query accounting are
+        byte-identical to the unsharded path at a fixed seed, whether the
+        blocks run inline or on a worker pool.
+    shard_pool:
+        Default executor for shard tasks (anything with an ``Executor.map``
+        interface).  ``None`` runs the shard blocks inline, which still
+        produces the same samples; the per-oracle caches shipped to workers
+        (coset-probability arrays, dual decompositions) are plain
+        NumPy/tuple data and pickle cheaply.
     """
 
     def __init__(
@@ -190,22 +204,46 @@ class FourierSampler:
         rng: Optional[np.random.Generator] = None,
         statevector_limit: int = 1 << 14,
         batch: bool = True,
+        shards: Optional[int] = None,
+        shard_pool=None,
     ):
         if backend not in ("auto", "analytic", "statevector"):
             raise ValueError(f"unknown backend {backend!r}")
+        if shards is not None and shards < 1:
+            raise ValueError(f"shards must be a positive integer, got {shards}")
+        if shards is not None and not batch:
+            raise ValueError("sharded sampling requires the batch path (batch=True)")
         self.backend = backend
         self.rng = rng if rng is not None else np.random.default_rng()
         self.statevector_limit = statevector_limit
         self.batch = batch
+        self.shards = shards
+        self.shard_pool = shard_pool
 
     # -- public API --------------------------------------------------------------
-    def sample(self, oracle: AbelianHSPOracle, count: int = 1) -> List[Vector]:
+    def sample(
+        self,
+        oracle: AbelianHSPOracle,
+        count: int = 1,
+        shards: Optional[int] = None,
+        pool=None,
+    ) -> List[Vector]:
         """Draw ``count`` independent Fourier samples (elements of ``H^perp``).
 
-        Each sample accounts for one quantum query regardless of backend and
-        of batching, so a batched request for ``count`` rounds reports the
-        same totals as ``count`` scalar requests.
+        Each sample accounts for one quantum query regardless of backend, of
+        batching and of sharding, so a batched request for ``count`` rounds
+        reports the same totals as ``count`` scalar requests.  ``shards`` and
+        ``pool`` override the sampler-level defaults for this request; see
+        the class docstring for the sharding contract.
         """
+        if count <= 0:
+            raise ValueError(f"sample requires a positive count, got {count}")
+        shards = shards if shards is not None else self.shards
+        if shards is not None and shards < 1:
+            raise ValueError(f"shards must be a positive integer, got {shards}")
+        pool = pool if pool is not None else self.shard_pool
+        if not self.batch and shards is not None:
+            raise ValueError("sharded sampling requires the batch path (batch=True)")
         backend = self._resolve_backend(oracle)
         oracle.counter.quantum_queries += count
         if not self.batch:
@@ -213,8 +251,8 @@ class FourierSampler:
                 return [self._sample_statevector(oracle) for _ in range(count)]
             return [self._sample_analytic(oracle) for _ in range(count)]
         if backend == "statevector":
-            return self._sample_statevector_batch(oracle, count)
-        return self._sample_analytic_batch(oracle, count)
+            return self._sample_statevector_batch(oracle, count, shards=shards, pool=pool)
+        return self._sample_analytic_batch(oracle, count, shards=shards, pool=pool)
 
     def _resolve_backend(self, oracle: AbelianHSPOracle) -> str:
         if self.backend != "auto":
@@ -242,7 +280,13 @@ class FourierSampler:
         return tuple(int(v) for v in np.unravel_index(outcome, tuple(moduli)))
 
     # -- batched statevector backend ---------------------------------------------
-    def _sample_statevector_batch(self, oracle: AbelianHSPOracle, count: int) -> List[Vector]:
+    def _sample_statevector_batch(
+        self,
+        oracle: AbelianHSPOracle,
+        count: int,
+        shards: Optional[int] = None,
+        pool=None,
+    ) -> List[Vector]:
         """Dense simulation with the per-oracle measurement distribution cached.
 
         The measurement distribution of the Fourier-transformed coset state
@@ -251,6 +295,8 @@ class FourierSampler:
         distribution of the identity coset — collected in one domain scan,
         the classical cost of simulating the superposition query — serves
         every round.  Only the probability array is retained on the oracle.
+        Sharding splits the outcome-to-tuple decoding per block of rounds;
+        the outcomes themselves are drawn here, on the sampler's generator.
         """
         module = oracle.module
         shape = tuple(module.moduli)
@@ -264,9 +310,12 @@ class FourierSampler:
             flat = qft_probabilities_of_coset(indicator).reshape(-1)
             oracle._coset_probability_cache = flat
         outcomes = self.rng.choice(flat.size, p=flat, size=count)
-        return [
-            tuple(int(v) for v in np.unravel_index(int(outcome), shape)) for outcome in outcomes
+        if shards is None or shards <= 1:
+            return _unravel_outcomes(shape, outcomes)
+        tasks = [
+            ("statevector", shape, block) for block in _split_rounds(outcomes, count, shards)
         ]
+        return _run_shard_tasks(tasks, pool)
 
     # -- analytic backend ----------------------------------------------------------------
     def _dual_structure(self, oracle: AbelianHSPOracle):
@@ -282,18 +331,28 @@ class FourierSampler:
             oracle._dual_structure_cache = cached
         return cached
 
-    def _sample_analytic_batch(self, oracle: AbelianHSPOracle, count: int) -> List[Vector]:
+    def _sample_analytic_batch(
+        self,
+        oracle: AbelianHSPOracle,
+        count: int,
+        shards: Optional[int] = None,
+        pool=None,
+    ) -> List[Vector]:
         """Vectorised uniform sampling from ``H^perp`` (cached decomposition).
 
         Coefficient blocks are drawn in one generator call each and combined
         with modular NumPy arithmetic when every modulus fits comfortably in
         ``int64``; larger moduli fall back to exact per-sample big-integer
-        lattice arithmetic (still with the cached decomposition).
+        lattice arithmetic (still with the cached decomposition).  All
+        coefficients are drawn here, in the exact order the unsharded path
+        draws them; sharding distributes only the per-row lattice
+        combination, so the samples are identical either way.
         """
         module = oracle.module
         _, decomposition = self._dual_structure(oracle)
         if not decomposition:
             return [module.identity()] * count
+        generators = [generator for generator, _ in decomposition]
         # Decide vectorisability on Python ints BEFORE any int64 conversion:
         # moduli of 2^63 and beyond must reach the exact big-integer fallback
         # rather than overflow in np.asarray.
@@ -301,21 +360,26 @@ class FourierSampler:
             order < (1 << 62) for _, order in decomposition
         )
         if vectorisable:
-            moduli_arr = np.asarray(module.moduli, dtype=np.int64)
-            values = np.zeros((count, moduli_arr.size), dtype=np.int64)
-            for generator, order in decomposition:
-                coefficients = self.rng.integers(0, int(order), size=count, dtype=np.int64)
-                reduced = coefficients[:, None] % moduli_arr[None, :]
-                values = (values + reduced * (np.asarray(generator, dtype=np.int64) % moduli_arr)) % moduli_arr
-            return [tuple(int(v) for v in row) for row in values]
-        samples = []
-        for _ in range(count):
-            sample = module.identity()
-            for generator, order in decomposition:
-                coefficient = self._uniform_below(int(order))
-                sample = module.add(sample, module.scalar(coefficient, generator))
-            samples.append(sample)
-        return samples
+            coefficients = np.empty((count, len(decomposition)), dtype=np.int64)
+            for j, (_, order) in enumerate(decomposition):
+                coefficients[:, j] = self.rng.integers(0, int(order), size=count, dtype=np.int64)
+            if shards is None or shards <= 1:
+                return _combine_analytic_vectorised(module.moduli, generators, coefficients)
+            tasks = [
+                ("analytic-vectorised", module.moduli, generators, block)
+                for block in _split_rounds(coefficients, count, shards)
+            ]
+            return _run_shard_tasks(tasks, pool)
+        coefficient_rows = [
+            [self._uniform_below(int(order)) for _, order in decomposition] for _ in range(count)
+        ]
+        if shards is None or shards <= 1:
+            return _combine_analytic_exact(module.moduli, generators, coefficient_rows)
+        tasks = [
+            ("analytic-exact", module.moduli, generators, block)
+            for block in _split_rounds(coefficient_rows, count, shards)
+        ]
+        return _run_shard_tasks(tasks, pool)
 
     def _uniform_below(self, bound: int) -> int:
         """A uniform integer in ``[0, bound)`` supporting arbitrary-size bounds."""
@@ -358,3 +422,74 @@ class FourierSampler:
         for y in elements:
             distribution[y] = weight
         return distribution
+
+
+# ---------------------------------------------------------------------------
+# Shard workers: pure module-level functions over picklable per-oracle data
+# (the coset-probability array / dual decomposition cached on the oracle),
+# so process pools can run blocks of rounds without touching oracles, rngs
+# or counters.  The parent draws every random coefficient beforehand.
+# ---------------------------------------------------------------------------
+
+
+def _split_rounds(rows, count: int, shards: int) -> List:
+    """Contiguous blocks of ``rows`` (len ``count``) for ``shards`` workers."""
+    shards = max(1, min(int(shards), count))
+    base, remainder = divmod(count, shards)
+    blocks = []
+    start = 0
+    for i in range(shards):
+        size = base + (1 if i < remainder else 0)
+        blocks.append(rows[start : start + size])
+        start += size
+    return blocks
+
+
+def _unravel_outcomes(shape: Tuple[int, ...], outcomes) -> List[Vector]:
+    return [tuple(int(v) for v in np.unravel_index(int(outcome), shape)) for outcome in outcomes]
+
+
+def _combine_analytic_vectorised(moduli, generators, coefficients) -> List[Vector]:
+    moduli_arr = np.asarray(moduli, dtype=np.int64)
+    values = np.zeros((len(coefficients), moduli_arr.size), dtype=np.int64)
+    for j, generator in enumerate(generators):
+        reduced = coefficients[:, j][:, None] % moduli_arr[None, :]
+        values = (values + reduced * (np.asarray(generator, dtype=np.int64) % moduli_arr)) % moduli_arr
+    return [tuple(int(v) for v in row) for row in values]
+
+
+def _combine_analytic_exact(moduli, generators, coefficient_rows) -> List[Vector]:
+    module = ZModule(moduli)
+    samples = []
+    for row in coefficient_rows:
+        sample = module.identity()
+        for generator, coefficient in zip(generators, row):
+            sample = module.add(sample, module.scalar(int(coefficient), generator))
+        samples.append(sample)
+    return samples
+
+
+def _sampler_shard_worker(task):
+    """Dispatch one shard task (kind, ...payload) to its combination routine."""
+    kind = task[0]
+    if kind == "statevector":
+        _, shape, outcomes = task
+        return _unravel_outcomes(shape, outcomes)
+    _, moduli, generators, coefficients = task
+    if kind == "analytic-vectorised":
+        return _combine_analytic_vectorised(moduli, generators, coefficients)
+    if kind == "analytic-exact":
+        return _combine_analytic_exact(moduli, generators, coefficients)
+    raise ValueError(f"unknown shard task kind {kind!r}")
+
+
+def _run_shard_tasks(tasks, pool) -> List[Vector]:
+    """Run shard tasks inline or on a pool; concatenation preserves order."""
+    if pool is None:
+        parts = [_sampler_shard_worker(task) for task in tasks]
+    else:
+        parts = list(pool.map(_sampler_shard_worker, tasks))
+    samples: List[Vector] = []
+    for part in parts:
+        samples.extend(part)
+    return samples

@@ -159,3 +159,49 @@ class TestHSPInstance:
         label0 = instance.oracle((0, 0))
         for g in instance.hidden_generators:
             assert instance.oracle(tuple(g)) == label0
+
+
+class TestCounterMergeRoundTrip:
+    """Snapshot → from_snapshot → merge: the experiment-harness contract."""
+
+    def _counter(self):
+        counter = QueryCounter(
+            classical_queries=3,
+            quantum_queries=5,
+            group_multiplications=7,
+            group_inversions=2,
+            identity_tests=11,
+        )
+        counter.bump("theorem11_retries", 4)
+        return counter
+
+    def test_snapshot_round_trip_preserves_every_field(self):
+        counter = self._counter()
+        rebuilt = QueryCounter.from_snapshot(counter.snapshot())
+        assert rebuilt == counter
+        assert rebuilt.snapshot() == counter.snapshot()
+
+    def test_round_trip_through_json(self):
+        import json
+
+        counter = self._counter()
+        rebuilt = QueryCounter.from_snapshot(json.loads(json.dumps(counter.snapshot())))
+        assert rebuilt.snapshot() == counter.snapshot()
+
+    def test_sum_merges_like_pairwise_addition(self):
+        counters = [self._counter() for _ in range(3)]
+        counters[1].bump("order_oracle_calls", 2)
+        merged = sum(counters, QueryCounter())
+        assert merged.quantum_queries == 15
+        assert merged.extra["theorem11_retries"] == 12
+        assert merged.extra["order_oracle_calls"] == 2
+
+    def test_sum_without_start_uses_radd(self):
+        merged = sum([self._counter(), self._counter()])
+        assert merged.classical_queries == 6
+
+    def test_merged_totals_equal_sum_of_reports(self):
+        a, b = self._counter(), QueryCounter(quantum_queries=1)
+        merged = (QueryCounter.from_snapshot(a.snapshot()) + QueryCounter.from_snapshot(b.snapshot())).snapshot()
+        for key in set(a.snapshot()) | set(b.snapshot()):
+            assert merged[key] == a.snapshot().get(key, 0) + b.snapshot().get(key, 0)

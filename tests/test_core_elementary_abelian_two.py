@@ -143,3 +143,84 @@ class TestValidation:
             group, instance.oracle, normal_gens, sampler=FourierSampler(rng=rng), cyclic_quotient=True
         )
         assert result.query_report["quantum_queries"] > 0
+
+
+class TestEngineRouting:
+    """The batched transversal/validation scans preserve results and counts.
+
+    Theorem 13 now routes its coset scans through ``multiply_many`` like
+    Theorems 8/11; with the engine disabled those batch calls degrade to the
+    scalar loops, so generators and the full query report must be identical
+    in both configurations.
+    """
+
+    def _solve(self, rng_seed=20010202):
+        rng = np.random.default_rng(rng_seed)
+        group, normal_gens = elementary_abelian_semidirect_instance(4, "S3")
+        hidden = [group.random_element(rng)]
+        instance = HSPInstance.from_subgroup(group, hidden)
+        result = solve_hsp_elementary_abelian_two(
+            group,
+            instance.oracle,
+            normal_gens,
+            sampler=FourierSampler(rng=rng),
+            cyclic_quotient=False,
+            quotient_bound=1 << 8,
+        )
+        assert instance.verify(result.generators or [group.identity()])
+        return result
+
+    def test_general_path_engine_vs_scalar_parity(self):
+        from repro.groups.engine import engine_disabled
+
+        engine_result = self._solve()
+        with engine_disabled():
+            scalar_result = self._solve()
+        assert engine_result.generators == scalar_result.generators
+        assert engine_result.representatives_used == scalar_result.representatives_used
+        assert engine_result.query_report == scalar_result.query_report
+
+    def test_cyclic_path_engine_vs_scalar_parity(self):
+        from repro.groups.engine import engine_disabled
+
+        def run():
+            rng = np.random.default_rng(20010202)
+            group, normal_gens = wreath_instance(2)
+            instance = HSPInstance.from_subgroup(group, [group.uniform_random_element(rng)])
+            result = solve_hsp_elementary_abelian_two(
+                group,
+                instance.oracle,
+                normal_gens,
+                sampler=FourierSampler(rng=rng),
+                cyclic_quotient=True,
+            )
+            assert instance.verify(result.generators or [group.identity()])
+            return result
+
+        engine_result = run()
+        with engine_disabled():
+            scalar_result = run()
+        assert engine_result.generators == scalar_result.generators
+        assert engine_result.query_report == scalar_result.query_report
+
+    def test_validation_still_rejects_bad_normal_subgroups(self):
+        group = elementary_abelian_group(3, 2)
+        instance = HSPInstance.from_subgroup(group, [(1, 0)])
+        with pytest.raises(GroupError, match="order dividing 2"):
+            solve_hsp_elementary_abelian_two(
+                group, instance.oracle, [(1, 0)], sampler=FourierSampler(rng=np.random.default_rng(0))
+            )
+
+    def test_validation_rejects_non_abelian_normal_part(self):
+        group, _ = elementary_abelian_semidirect_instance(3, "S3")
+        # Two non-commuting involutions of G (coordinate swaps composed with
+        # the S3 part) violate the Abelianity requirement on N.
+        instance = HSPInstance.from_subgroup(group, [group.identity()])
+        gens = [g for g in group.generators() if group.is_identity(group.multiply(g, g))]
+        if len(gens) >= 2 and not group.equal(
+            group.multiply(gens[0], gens[1]), group.multiply(gens[1], gens[0])
+        ):
+            with pytest.raises(GroupError, match="Abelian"):
+                solve_hsp_elementary_abelian_two(
+                    group, instance.oracle, gens, sampler=FourierSampler(rng=np.random.default_rng(0))
+                )
