@@ -7,9 +7,12 @@ Heisenberg group at fixed ``p`` (growing ``log |G|`` with ``p`` fixed).
 The sweep definitions live in :mod:`repro.experiments.workloads` (the
 ``extraspecial-*`` entries); running this file as a script is a thin wrapper
 that executes them through the parallel experiment runner and persists one
-``BENCH_<sweep>.json`` each::
+``BENCH_<sweep>.json`` each.  Every named sweep runs even if an earlier one
+fails (the exit status combines them), and the runner's fault-tolerance
+flags pass straight through::
 
     PYTHONPATH=src python benchmarks/bench_extraspecial.py --workers 2
+    PYTHONPATH=src python benchmarks/bench_extraspecial.py --resume --max-failures 3
 
 The pytest-benchmark entries below measure the same instances with
 wall-clock statistics per parameter point.

@@ -10,9 +10,12 @@ path should scale with ``log |G|`` and the bounded-factor path with
 The sweep definitions live in :mod:`repro.experiments.workloads` (the
 ``hidden-normal-*`` entries); running this file as a script is a thin
 wrapper that executes them through the parallel experiment runner and
-persists one ``BENCH_<sweep>.json`` each::
+persists one ``BENCH_<sweep>.json`` each.  Every named sweep runs even if
+an earlier one fails (the exit status combines them), and the runner's
+fault-tolerance flags pass straight through::
 
     PYTHONPATH=src python benchmarks/bench_hidden_normal.py --workers 2
+    PYTHONPATH=src python benchmarks/bench_hidden_normal.py --resume --max-failures 3
 
 The pytest-benchmark entries below measure the same instances with
 wall-clock statistics per parameter point (``pytest benchmarks/

@@ -83,12 +83,15 @@ class _QuotientBase:
         sampler: Optional[FourierSampler] = None,
         generators: Optional[Sequence] = None,
         max_enumeration: int = 1 << 18,
+        confidence: Optional[int] = None,
     ) -> AbelianPresentation:
         """A presentation of the Abelian factor group ``G/N`` (Theorem 7).
 
         Computes the orders of the generators modulo ``N`` and the kernel of
         the exponent map by one Abelian HSP run; the relators are the kernel
-        generators plus the generator commutators.
+        generators plus the generator commutators.  ``confidence`` overrides
+        the stopping rule of that Abelian HSP run (``None`` keeps the
+        default).
         """
         sampler = sampler if sampler is not None else FourierSampler()
         gens = [g for g in (generators if generators is not None else self.group.generators()) if not self.in_kernel(g)]
@@ -96,7 +99,8 @@ class _QuotientBase:
             return AbelianPresentation(generators=[], orders=[], relation_vectors=[])
         orders = [self.order_modulo(g) for g in gens]
         oracle = self._exponent_map_oracle(gens, orders, max_enumeration)
-        kernel = solve_abelian_hsp(oracle, sampler=sampler)
+        kwargs = {} if confidence is None else {"confidence": int(confidence)}
+        kernel = solve_abelian_hsp(oracle, sampler=sampler, **kwargs)
         return AbelianPresentation(generators=gens, orders=orders, relation_vectors=list(kernel.generators))
 
     def _exponent_map_oracle(self, gens: Sequence, orders: Sequence[int], max_enumeration: int):  # pragma: no cover - abstract

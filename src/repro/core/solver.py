@@ -108,6 +108,7 @@ def solve_hsp(
     sampler: Optional[FourierSampler] = None,
     rng: Optional[np.random.Generator] = None,
     use_engine: bool = True,
+    confidence: Optional[int] = None,
 ) -> HSPSolution:
     """Solve a hidden subgroup instance with the appropriate paper algorithm.
 
@@ -120,6 +121,15 @@ def solve_hsp(
     instance construction included — is
     :func:`repro.groups.engine.engine_disabled`, which the experiment
     harness uses.  Query accounting is identical either way.
+
+    ``confidence`` overrides the Fourier-sampling stopping rule of the
+    Abelian HSP core (the number of consecutive non-enlarging samples
+    required before stopping; failure probability ``<= 2^-confidence``).  It
+    reaches the ``abelian`` strategy directly and the ``hidden_normal``
+    strategy through its Abelian-presentation subroutine; strategies without
+    that sampling loop ignore it.  ``None`` keeps the defaults — small
+    values deliberately trade success probability for rounds, which is what
+    the success-vs-rounds statistics sweeps scan.
     """
     sampler = sampler if sampler is not None else FourierSampler(rng=rng)
     chosen = strategy if strategy != "auto" else _choose_strategy(instance)
@@ -129,8 +139,10 @@ def solve_hsp(
     promises = instance.promises
     start = time.perf_counter()
 
+    confidence_kwargs = {} if confidence is None else {"confidence": int(confidence)}
+
     if chosen == "abelian":
-        result = solve_hsp_in_abelian_group(base, oracle, sampler=sampler)
+        result = solve_hsp_in_abelian_group(base, oracle, sampler=sampler, **confidence_kwargs)
         generators = result.generators
     elif chosen == "elementary_abelian_two":
         if "normal_generators" not in promises:
@@ -161,6 +173,7 @@ def solve_hsp(
             sampler=sampler,
             quotient_bound=promises.get("quotient_bound"),
             use_engine=use_engine,
+            **confidence_kwargs,
         )
         generators = result.generators
     elif chosen == "classical":

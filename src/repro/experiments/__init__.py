@@ -15,12 +15,16 @@ persistent experiment layer:
     the named instance builders that rebuild each HSP instance *inside* the
     worker process (group oracles hold closures and are never pickled);
 ``runner``
-    the process-pool executor: engines are per-group-instance, so workers
-    share nothing and per-run query reports merge by
-    ``QueryCounter.__add__``;
+    the fault-tolerant process-pool executor: engines are
+    per-group-instance, so workers share nothing and per-run query reports
+    merge by ``QueryCounter.__add__``; a raising run becomes a structured
+    ``status="error"`` row (bounded by ``max_failures``) and completed rows
+    are journaled so an interrupted sweep resumes where it stopped
+    (errored rows are retried on resume);
 ``results``
-    per-run JSON rows and aggregate statistics, persisted as
-    ``BENCH_<name>.json``;
+    per-run JSON rows and aggregate statistics, persisted atomically as
+    ``BENCH_<name>.json``, plus the ``BENCH_<name>.partial.jsonl``
+    checkpoint journal behind ``--resume``;
 ``workloads``
     the declared sweeps (including the migrated ``benchmarks/bench_*``
     workloads);
@@ -34,8 +38,16 @@ order.
 """
 
 from repro.experiments.registry import build_instance, families
-from repro.experiments.results import RunRecord, aggregate_records, bench_payload, load_bench, write_bench
-from repro.experiments.runner import execute_run, run_sweep
+from repro.experiments.results import (
+    RunRecord,
+    aggregate_records,
+    bench_payload,
+    journal_path,
+    load_bench,
+    load_journal,
+    write_bench,
+)
+from repro.experiments.runner import SweepAborted, execute_run, execute_run_safe, run_sweep
 from repro.experiments.specs import DEFAULT_SEED, RunSpec, SamplerSpec, SweepSpec
 from repro.experiments.workloads import WORKLOADS, get_workload
 
@@ -43,6 +55,7 @@ __all__ = [
     "DEFAULT_SEED",
     "RunSpec",
     "SamplerSpec",
+    "SweepAborted",
     "SweepSpec",
     "RunRecord",
     "WORKLOADS",
@@ -50,9 +63,12 @@ __all__ = [
     "bench_payload",
     "build_instance",
     "execute_run",
+    "execute_run_safe",
     "families",
     "get_workload",
+    "journal_path",
     "load_bench",
+    "load_journal",
     "run_sweep",
     "write_bench",
 ]

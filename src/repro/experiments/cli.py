@@ -1,20 +1,29 @@
 """The ``python -m repro.experiments`` command line.
 
-Three subcommands make sweeps reproducible from a shell:
+Four subcommands make sweeps reproducible (and restartable) from a shell:
 
 ``list``
     the declared workloads and registered instance families;
 ``run NAME``
     expand and execute a declared sweep (optionally on a process pool) and
-    write ``BENCH_<name>.json``;
+    write ``BENCH_<name>.json``.  ``--max-failures`` bounds how many runs
+    may error before the sweep aborts, and ``--resume`` continues an
+    interrupted sweep from its ``BENCH_<name>.partial.jsonl`` journal;
 ``report NAME-or-PATH``
-    print the per-run rows and the aggregate of a produced BENCH file.
+    print the per-run rows and the aggregate of a produced BENCH file;
+``cache ls|prune``
+    inspect or LRU-evict the persistent Cayley-table cache written by
+    ``CayleyBackend(cache_dir=...)`` / the ``engine_cache_dir`` solver
+    option.
 
 Examples::
 
     python -m repro.experiments list
     python -m repro.experiments run smoke --workers 2 --out .benchmarks
+    python -m repro.experiments run smoke --resume --out .benchmarks
     python -m repro.experiments report smoke --out .benchmarks
+    python -m repro.experiments cache ls .cayley-cache
+    python -m repro.experiments cache prune .cayley-cache --max-bytes 1000000
 """
 
 from __future__ import annotations
@@ -26,8 +35,9 @@ from typing import List, Optional
 
 from repro.experiments.registry import families
 from repro.experiments.results import bench_path, load_bench
-from repro.experiments.runner import run_sweep
+from repro.experiments.runner import SweepAborted, run_sweep
 from repro.experiments.workloads import WORKLOADS, get_workload
+from repro.groups.engine import cache_entries, prune_cache
 
 __all__ = ["main", "run_sweeps"]
 
@@ -36,18 +46,28 @@ def run_sweeps(names: List[str], argv: Optional[List[str]] = None, description: 
     """Run a fixed list of declared sweeps with shared ``--workers``/``--out`` flags.
 
     The entry point behind the ``benchmarks/bench_*.py`` script wrappers:
-    parses the common options once and executes each named sweep through the
-    ``run`` subcommand, stopping at the first failure.
+    parses the common options once and executes *every* named sweep through
+    the ``run`` subcommand — a failing sweep (wrong subgroups, errored runs)
+    no longer aborts the remaining sweeps; the combined status is non-zero
+    if any sweep failed.
     """
     parser = argparse.ArgumentParser(description=description or f"run sweeps: {', '.join(names)}")
     parser.add_argument("--workers", type=int, default=1, help="worker processes (default 1)")
     parser.add_argument("--out", default=".", help="output directory for the BENCH files")
+    parser.add_argument("--resume", action="store_true", help="resume each sweep from its journal")
+    parser.add_argument(
+        "--max-failures", type=int, default=None, help="abort a sweep after this many errored runs"
+    )
     args = parser.parse_args(argv)
+    combined = 0
     for name in names:
-        status = main(["run", name, "--workers", str(args.workers), "--out", args.out])
-        if status:
-            return status
-    return 0
+        forwarded = ["run", name, "--workers", str(args.workers), "--out", args.out]
+        if args.resume:
+            forwarded.append("--resume")
+        if args.max_failures is not None:
+            forwarded.extend(["--max-failures", str(args.max_failures)])
+        combined = max(combined, main(forwarded))
+    return combined
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -63,12 +83,34 @@ def _build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--out", default=".", help="output directory for the BENCH file")
     run_parser.add_argument("--seed", type=int, default=None, help="override the sweep master seed")
     run_parser.add_argument("--repeats", type=int, default=None, help="override the repeats per grid point")
+    run_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip runs already journaled in BENCH_<name>.partial.jsonl and execute the remainder",
+    )
+    run_parser.add_argument(
+        "--max-failures",
+        type=int,
+        default=None,
+        help="abort the sweep once more than this many runs have errored "
+        "(default: capture all errors as rows and finish)",
+    )
 
     sub.add_parser("list", help="list declared workloads and instance families")
 
     report_parser = sub.add_parser("report", help="summarise a produced BENCH_<name>.json")
     report_parser.add_argument("target", help="a workload name (resolved inside --out) or a path to a BENCH file")
     report_parser.add_argument("--out", default=".", help="directory searched for BENCH_<name>.json")
+
+    cache_parser = sub.add_parser("cache", help="inspect or prune the persistent Cayley-table cache")
+    cache_sub = cache_parser.add_subparsers(dest="cache_command", required=True)
+    ls_parser = cache_sub.add_parser("ls", help="list cache entries, least recently used first")
+    ls_parser.add_argument("cache_dir", help="the CayleyBackend cache directory")
+    prune_parser = cache_sub.add_parser("prune", help="LRU-evict entries until the cache fits a size cap")
+    prune_parser.add_argument("cache_dir", help="the CayleyBackend cache directory")
+    prune_parser.add_argument(
+        "--max-bytes", type=int, required=True, help="target total cache size in bytes (0 empties it)"
+    )
     return parser
 
 
@@ -78,11 +120,27 @@ def _command_run(args) -> int:
     except (KeyError, ValueError) as error:
         print(str(error), file=sys.stderr)
         return 1
-    path, payload = run_sweep(spec, workers=args.workers, out_dir=args.out)
+    try:
+        path, payload = run_sweep(
+            spec,
+            workers=args.workers,
+            out_dir=args.out,
+            max_failures=args.max_failures,
+            resume=args.resume,
+        )
+    except (SweepAborted, ValueError) as error:
+        # SweepAborted: the --max-failures budget ran out (journal kept for
+        # --resume).  ValueError: a journal/spec mismatch on --resume.
+        print(str(error), file=sys.stderr)
+        return 1
     aggregate = payload["aggregate"]
     print(f"sweep {spec.name!r}: {aggregate['runs']} runs on {payload['workers']} worker(s)")
+    rate = aggregate["success_rate"]
+    rate_text = "n/a (no runs)" if rate is None else f"{rate:.3f}"
     print(
         f"  successes: {aggregate['successes']}/{aggregate['runs']}"
+        f"  errors: {aggregate.get('errors', 0)}"
+        f"  success rate: {rate_text}"
         f"  wall time: {aggregate['wall_time_seconds']:.3f}s"
     )
     totals = aggregate["query_totals"]
@@ -90,6 +148,12 @@ def _command_run(args) -> int:
         if key in totals:
             print(f"  {key}: {totals[key]}")
     print(f"  wrote {path}")
+    if aggregate["runs"] == 0:
+        print("  FAILED: the sweep produced no runs", file=sys.stderr)
+        return 1
+    if aggregate.get("errors"):
+        print(f"  FAILED: {aggregate['errors']} run(s) raised (status=\"error\" rows)", file=sys.stderr)
+        return 1
     if aggregate["successes"] != aggregate["runs"]:
         print(
             f"  FAILED: {aggregate['runs'] - aggregate['successes']} run(s) recovered a wrong subgroup",
@@ -101,16 +165,22 @@ def _command_run(args) -> int:
 
 def _command_list() -> int:
     print("declared workloads:")
-    width = max(len(name) for name in WORKLOADS)
-    for name in sorted(WORKLOADS):
-        spec = WORKLOADS[name]
-        runs = len(spec.expand())
-        print(f"  {name:<{width}}  [{spec.family}, {runs} runs]  {spec.description}")
+    if not WORKLOADS:
+        print("  (none declared)")
+    else:
+        width = max(len(name) for name in WORKLOADS)
+        for name in sorted(WORKLOADS):
+            spec = WORKLOADS[name]
+            runs = len(spec.expand())
+            print(f"  {name:<{width}}  [{spec.family}, {runs} runs]  {spec.description}")
     print("\ninstance families:")
     registered = families()
-    width = max(len(name) for name in registered)
-    for name, description in registered.items():
-        print(f"  {name:<{width}}  {description}")
+    if not registered:
+        print("  (none registered)")
+    else:
+        width = max(len(name) for name in registered)
+        for name, description in registered.items():
+            print(f"  {name:<{width}}  {description}")
     return 0
 
 
@@ -138,17 +208,45 @@ def _command_report(args) -> int:
     for row in payload["rows"]:
         report = row["query_report"]
         params = ", ".join(f"{key}={value}" for key, value in sorted(row["params"].items())) or "-"
+        status = row.get("status", "ok")
+        ok = "ERR" if status == "error" else ("yes" if row["success"] else "NO")
+        time_text = f"{timings.get(row['index'], 0.0) * 1e3:.1f}ms"
         print(
             f"  {row['index']:>3}  {params:<28.28}  {row['strategy']:<22.22}  "
-            f"{'yes' if row['success'] else 'NO':<3}  {report.get('quantum_queries', 0):>7}  "
-            f"{report.get('classical_queries', 0):>9}  {timings.get(row['index'], 0.0) * 1e3:>6.1f}ms"
+            f"{ok:<3}  {report.get('quantum_queries', 0):>7}  "
+            f"{report.get('classical_queries', 0):>9}  {time_text:>8}"
         )
     aggregate = payload["aggregate"]
     print(
         f"  aggregate: {aggregate['successes']}/{aggregate['runs']} ok, "
+        f"errors={aggregate.get('errors', 0)}, "
         f"quantum={aggregate['query_totals'].get('quantum_queries', 0)}, "
         f"classical={aggregate['query_totals'].get('classical_queries', 0)}, "
         f"wall={aggregate['wall_time_seconds']:.3f}s"
+    )
+    return 0
+
+
+def _command_cache(args) -> int:
+    if args.cache_command == "ls":
+        entries = cache_entries(args.cache_dir)
+        if not entries:
+            print(f"no Cayley cache entries under {args.cache_dir!r}")
+            return 0
+        total = sum(entry["bytes"] for entry in entries)
+        print(f"{len(entries)} entries, {total} bytes (least recently used first):")
+        for entry in entries:
+            print(f"  {entry['digest']}  {entry['bytes']:>12} bytes  {len(entry['files'])} file(s)")
+        return 0
+    try:
+        evicted = prune_cache(args.cache_dir, args.max_bytes)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 1
+    remaining = cache_entries(args.cache_dir)
+    print(
+        f"evicted {len(evicted)} entries ({sum(e['bytes'] for e in evicted)} bytes); "
+        f"{len(remaining)} entries ({sum(e['bytes'] for e in remaining)} bytes) remain"
     )
     return 0
 
@@ -159,4 +257,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_run(args)
     if args.command == "list":
         return _command_list()
+    if args.command == "cache":
+        return _command_cache(args)
     return _command_report(args)

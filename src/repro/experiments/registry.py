@@ -146,6 +146,23 @@ def _extraspecial_random(params, rng):
     )
 
 
+@register_family("diagnostic_fault", "deterministic fault injector over D_n (fault-tolerance drills)")
+def _diagnostic_fault(params, rng):
+    """A tiny dihedral instance that raises when ``fail`` is set.
+
+    The failure happens *inside the builder*, exactly where a real sweep
+    loses a run (a family whose construction blows up for some grid point),
+    so the runner's error capture, ``--max-failures`` budget and
+    journal-resume paths can be exercised deterministically from a declared
+    workload.
+    """
+    if params.get("fail"):
+        raise RuntimeError(
+            f"diagnostic fault injected for params {dict(sorted(params.items()))}"
+        )
+    return _dihedral_rotation(params, rng)
+
+
 @register_family("wreath_random", "random hidden subgroup of Z_2^k wr Z_2 (Theorem 13, cyclic quotient)")
 def _wreath_random(params, rng):
     k = int(params["k"])

@@ -3,10 +3,23 @@
 One :class:`RunRecord` per ``solve_hsp`` run; a sweep's records are written
 to ``BENCH_<name>.json`` together with aggregate statistics.  The payload
 separates the *deterministic* part (the ``rows``: strategy, query report,
-recovered generators, success flag, seed) from the *machine-dependent* part
-(``timings``), so a sweep rerun at the same seed — with any worker count —
-produces byte-identical rows, and the timing data still rides along for the
-reports.
+recovered generators, success flag, seed, status) from the
+*machine-dependent* part (``timings``), so a sweep rerun at the same seed —
+with any worker count — produces byte-identical rows, and the timing data
+still rides along for the reports.
+
+Fault tolerance rests on two mechanisms in this module:
+
+* :func:`write_bench` is **atomic** — the payload is serialized to a
+  temporary file in the output directory and moved into place with
+  :func:`os.replace`, so a crash mid-write can never leave a corrupt
+  ``BENCH_<name>.json`` behind;
+* the **journal** (``BENCH_<name>.partial.jsonl``) records each completed
+  run as one appended JSON line.  An interrupted sweep leaves the journal
+  on disk; ``--resume`` replays it, skipping journaled ``status="ok"``
+  ``(index, seed)`` rows (errored rows are retried), and the journal
+  header pins the exact sweep spec so a resume against a different seed or
+  grid is refused.
 
 Aggregation merges the per-run query reports through
 ``QueryCounter.from_snapshot`` and ``QueryCounter.__add__`` — the aggregate
@@ -18,25 +31,40 @@ from __future__ import annotations
 
 import json
 import os
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.blackbox.oracle import QueryCounter
 
 __all__ = [
     "RunRecord",
     "aggregate_records",
+    "append_journal",
     "bench_payload",
     "bench_path",
+    "journal_path",
     "load_bench",
+    "load_journal",
+    "remove_journal",
+    "rewrite_journal",
     "rows_bytes",
     "write_bench",
+    "write_journal_header",
 ]
+
+#: Journal schema version; bumped if the line format ever changes so a stale
+#: journal from an older build is refused rather than misread.
+JOURNAL_VERSION = 1
 
 
 @dataclass
 class RunRecord:
-    """The outcome of one experiment run (picklable, JSON-ready)."""
+    """The outcome of one experiment run (picklable, JSON-ready).
+
+    ``status`` is ``"ok"`` for a run that returned (successfully or not) and
+    ``"error"`` for a run that raised — in which case ``error`` holds the
+    formatted traceback, ``success`` is false and the query report is empty.
+    """
 
     sweep: str
     index: int
@@ -49,6 +77,8 @@ class RunRecord:
     generators: List[str]
     query_report: Dict[str, int]
     wall_time_seconds: float = 0.0
+    status: str = "ok"
+    error: Optional[str] = None
 
     def row(self) -> Dict[str, object]:
         """The deterministic JSON row (everything except wall time)."""
@@ -59,25 +89,59 @@ class RunRecord:
             "repeat": self.repeat,
             "seed": self.seed,
             "strategy": self.strategy,
+            "status": self.status,
+            "error": self.error,
             "success": self.success,
             "generators": list(self.generators),
             "query_report": {key: int(value) for key, value in sorted(self.query_report.items())},
         }
 
+    def to_json_dict(self) -> Dict[str, object]:
+        """The full journal entry: the row plus sweep name and wall time."""
+        entry = self.row()
+        entry["sweep"] = self.sweep
+        entry["wall_time_seconds"] = self.wall_time_seconds
+        return entry
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, object]) -> "RunRecord":
+        """Rebuild a record from :meth:`to_json_dict` output (JSON round-trip)."""
+        return cls(
+            sweep=str(data["sweep"]),
+            index=int(data["index"]),
+            family=str(data["family"]),
+            params=dict(data["params"]),
+            repeat=int(data["repeat"]),
+            seed=int(data["seed"]),
+            strategy=str(data["strategy"]),
+            success=bool(data["success"]),
+            generators=list(data["generators"]),
+            query_report={key: int(value) for key, value in dict(data["query_report"]).items()},
+            wall_time_seconds=float(data.get("wall_time_seconds", 0.0)),
+            status=str(data.get("status", "ok")),
+            error=data.get("error"),
+        )
+
 
 def aggregate_records(records: Sequence[RunRecord]) -> Dict[str, object]:
-    """Summary statistics of a sweep: success rate, merged query totals, time."""
+    """Summary statistics of a sweep: success rate, merged query totals, time.
+
+    An empty record list (an empty or fully-filtered sweep) reports
+    ``success_rate: None`` — never a fabricated 100%.
+    """
     totals = sum(
         (QueryCounter.from_snapshot(record.query_report) for record in records), QueryCounter()
     )
     successes = sum(1 for record in records if record.success)
+    errors = sum(1 for record in records if record.status == "error")
     by_strategy: Dict[str, int] = {}
     for record in records:
         by_strategy[record.strategy] = by_strategy.get(record.strategy, 0) + 1
     return {
         "runs": len(records),
         "successes": successes,
-        "success_rate": (successes / len(records)) if records else 1.0,
+        "errors": errors,
+        "success_rate": (successes / len(records)) if records else None,
         "strategies": dict(sorted(by_strategy.items())),
         "query_totals": {key: int(value) for key, value in sorted(totals.snapshot().items())},
         "wall_time_seconds": sum(record.wall_time_seconds for record in records),
@@ -99,18 +163,37 @@ def bench_payload(spec, workers: int, records: Sequence[RunRecord]) -> Dict[str,
     }
 
 
+def _safe_name(name: str) -> str:
+    return name.replace("/", "-").replace(" ", "-")
+
+
 def bench_path(out_dir: str, name: str) -> str:
-    safe = name.replace("/", "-").replace(" ", "-")
-    return os.path.join(out_dir, f"BENCH_{safe}.json")
+    return os.path.join(out_dir, f"BENCH_{_safe_name(name)}.json")
+
+
+def journal_path(out_dir: str, name: str) -> str:
+    """The checkpoint journal path of a sweep: ``BENCH_<name>.partial.jsonl``."""
+    return os.path.join(out_dir, f"BENCH_{_safe_name(name)}.partial.jsonl")
 
 
 def write_bench(out_dir: str, name: str, payload: Dict[str, object]) -> str:
-    """Write the payload to ``<out_dir>/BENCH_<name>.json`` and return the path."""
+    """Atomically write the payload to ``<out_dir>/BENCH_<name>.json``.
+
+    The JSON is serialized to a same-directory temporary file and moved into
+    place with :func:`os.replace`, so readers (and ``--resume``) never see a
+    torn file: either the previous content or the complete new one.
+    """
     os.makedirs(out_dir, exist_ok=True)
     path = bench_path(out_dir, name)
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    tmp_path = f"{path}.tmp-{os.getpid()}"
+    try:
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp_path, path)
+    finally:
+        if os.path.exists(tmp_path):
+            os.remove(tmp_path)
     return path
 
 
@@ -123,6 +206,104 @@ def rows_bytes(payload: Dict[str, object]) -> bytes:
     """The canonical byte serialization of the deterministic rows.
 
     Two sweep executions are considered identical exactly when these bytes
-    agree; the determinism tests compare them across worker counts.
+    agree; the determinism and resume tests compare them across worker
+    counts and across interruptions.
     """
     return json.dumps(payload["rows"], sort_keys=True).encode("utf-8")
+
+
+# ---------------------------------------------------------------------------
+# The checkpoint journal
+# ---------------------------------------------------------------------------
+
+
+def write_journal_header(path: str, spec) -> None:
+    """Start a fresh journal: one header line pinning the sweep spec."""
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    header = {"journal_version": JOURNAL_VERSION, "sweep": spec.to_json_dict()}
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(header, sort_keys=True) + "\n")
+
+
+def rewrite_journal(path: str, spec, records: Sequence[RunRecord]) -> None:
+    """Atomically rewrite a journal as header + ``records`` (compaction).
+
+    Used when resuming: the reloaded state is written back as a clean file,
+    which drops any torn trailing fragment from the crash (appending after
+    a fragment would merge it with the next record into one unparseable
+    line) and drops superseded rows (e.g. errors about to be retried).
+    """
+    tmp_path = f"{path}.tmp-{os.getpid()}"
+    try:
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            header = {"journal_version": JOURNAL_VERSION, "sweep": spec.to_json_dict()}
+            handle.write(json.dumps(header, sort_keys=True) + "\n")
+            for record in records:
+                handle.write(json.dumps(record.to_json_dict(), sort_keys=True) + "\n")
+        os.replace(tmp_path, path)
+    finally:
+        if os.path.exists(tmp_path):
+            os.remove(tmp_path)
+
+
+def append_journal(path: str, record: RunRecord) -> None:
+    """Append one completed run to the journal (open-write-close, crash safe).
+
+    The file is reopened per record so every completed row reaches the
+    filesystem even if the process dies before the sweep finishes; a torn
+    final line (the crash landing mid-``write``) is tolerated and dropped by
+    :func:`load_journal`.
+    """
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(record.to_json_dict(), sort_keys=True) + "\n")
+
+
+def _journal_lines(path: str) -> Iterator[Dict[str, object]]:
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError:
+                # A torn trailing line from a crash mid-append: everything
+                # before it is intact, so stop there and let the resume
+                # re-execute the run whose record was lost.
+                return
+
+
+def load_journal(path: str, spec) -> Dict[Tuple[int, int], RunRecord]:
+    """The journaled records of ``spec``, keyed by ``(index, seed)``.
+
+    Raises ``ValueError`` when the journal header does not match ``spec``
+    exactly — resuming under a different seed, grid, strategy or sampler
+    would silently mix incompatible rows.
+    """
+    lines = _journal_lines(path)
+    try:
+        header = next(lines)
+    except StopIteration:
+        return {}
+    if header.get("journal_version") != JOURNAL_VERSION:
+        raise ValueError(
+            f"journal {path!r} has version {header.get('journal_version')!r}, "
+            f"expected {JOURNAL_VERSION}; delete it to start over"
+        )
+    expected = json.loads(json.dumps(spec.to_json_dict()))
+    if header.get("sweep") != expected:
+        raise ValueError(
+            f"journal {path!r} was written by a different sweep configuration "
+            f"(name/seed/grid/sampler mismatch); delete it or rerun without --resume"
+        )
+    records: Dict[Tuple[int, int], RunRecord] = {}
+    for entry in lines:
+        record = RunRecord.from_json_dict(entry)
+        records[(record.index, record.seed)] = record
+    return records
+
+
+def remove_journal(path: str) -> None:
+    """Delete a journal if present (the sweep completed; nothing to resume)."""
+    if os.path.exists(path):
+        os.remove(path)

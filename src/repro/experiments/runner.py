@@ -1,4 +1,4 @@
-"""The process-pool sweep runner.
+"""The fault-tolerant, resumable process-pool sweep runner.
 
 ``execute_run`` is the complete life of one experiment run — rebuild the
 instance from its descriptor, solve, verify, record — and is a module-level
@@ -6,6 +6,21 @@ function of one picklable argument, so it runs unchanged inline or on a
 ``ProcessPoolExecutor`` worker.  Engines, oracles and counters are created
 inside the run; workers share no mutable state, and the per-run query
 reports merge afterwards through ``QueryCounter`` addition.
+
+Fault tolerance: the pool executes :func:`execute_run_safe`, which converts
+a raising run into a structured :class:`RunRecord` with ``status="error"``
+and the formatted traceback — one bad instance never kills the sweep.
+``max_failures`` caps the tolerance: once more than that many runs have
+errored, :class:`SweepAborted` is raised (everything completed so far is
+journaled, so ``--resume`` picks up the remainder after a fix).
+
+Checkpointing: every completed record is appended to a
+``BENCH_<name>.partial.jsonl`` journal as it arrives; ``resume=True`` loads
+the journal, skips already-journaled ``(index, seed)`` rows and executes
+only the remainder.  The final ``rows`` are byte-identical to an
+uninterrupted run at the same seed, because each run's randomness derives
+from its own per-index seed and the journal round-trips the deterministic
+row content exactly.
 
 Determinism: a run's randomness comes only from ``RunSpec.seed`` (one
 generator drives instance construction and Fourier sampling, in that fixed
@@ -15,8 +30,11 @@ results are collected with ``Executor.map``, which preserves input order.
 
 from __future__ import annotations
 
+import os
+import re
 import time
-from concurrent.futures import ProcessPoolExecutor
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from contextlib import nullcontext
 from typing import Dict, List, Optional, Tuple
 
@@ -25,22 +43,63 @@ import numpy as np
 from repro.blackbox.oracle import BlackBoxGroup
 from repro.core.solver import solve_hsp
 from repro.experiments.registry import build_instance
-from repro.experiments.results import RunRecord, bench_payload, write_bench
+from repro.experiments.results import (
+    RunRecord,
+    append_journal,
+    bench_payload,
+    journal_path,
+    load_journal,
+    remove_journal,
+    rewrite_journal,
+    write_bench,
+    write_journal_header,
+)
 from repro.experiments.specs import RunSpec, SamplerSpec, SweepSpec
 from repro.groups.engine import engine_cache, engine_disabled
 from repro.quantum.sampling import FourierSampler
 
-__all__ = ["execute_run", "make_sampler", "run_sweep"]
+__all__ = ["SweepAborted", "execute_run", "execute_run_safe", "make_sampler", "run_sweep"]
 
 #: Recognised ``solver_options`` keys.  Strategy, sampler and engine use are
 #: first-class ``SweepSpec`` fields; instance parameters belong in the grid;
 #: structural promises belong to the registry family.  Validated here so a
 #: typo fails the sweep with a clear message instead of a worker TypeError.
-SUPPORTED_SOLVER_OPTIONS = frozenset({"engine_cache_dir"})
+#: ``confidence`` tunes the Fourier-sampling stopping rule (success
+#: probability versus rounds); ``engine_cache_dir`` persists Cayley tables.
+SUPPORTED_SOLVER_OPTIONS = frozenset({"engine_cache_dir", "confidence"})
+
+
+class SweepAborted(RuntimeError):
+    """Raised when a sweep exceeds its ``max_failures`` error budget.
+
+    The journal keeps every record completed before the abort (error rows
+    included), so a ``--resume`` after fixing the cause re-executes only the
+    remainder — journaled *error* rows are retried on resume (see
+    :func:`run_sweep`), which is what makes recovery from a transient cause
+    possible at all.
+    """
+
+    def __init__(self, sweep: str, failures: int, max_failures: int, journal: Optional[str]):
+        self.sweep = sweep
+        self.failures = failures
+        self.max_failures = max_failures
+        self.journal = journal
+        hint = f"; journal kept at {journal}" if journal else ""
+        super().__init__(
+            f"sweep {sweep!r} aborted: {failures} failed run(s) exceed "
+            f"--max-failures {max_failures}{hint}"
+        )
 
 
 def make_sampler(spec: SamplerSpec, rng: np.random.Generator, pool=None) -> FourierSampler:
-    """The Fourier sampler described by ``spec``, seeded with ``rng``."""
+    """The Fourier sampler described by ``spec``, seeded with ``rng``.
+
+    ``pool`` is the executor for shard tasks when ``spec.shards`` is set;
+    ``None`` runs the shard blocks inline with identical samples and
+    accounting.  Pool-executed runs always shard inline — a worker process
+    must not spawn a nested pool — so a pool only reaches the sampler on the
+    ``workers=1`` path (see :func:`run_sweep`).
+    """
     return FourierSampler(
         backend=spec.backend,
         rng=rng,
@@ -51,8 +110,8 @@ def make_sampler(spec: SamplerSpec, rng: np.random.Generator, pool=None) -> Four
     )
 
 
-def execute_run(run: RunSpec) -> RunRecord:
-    """Execute one run descriptor; the worker-side entry point."""
+def execute_run(run: RunSpec, shard_pool=None) -> RunRecord:
+    """Execute one run descriptor; raises on failure (see ``execute_run_safe``)."""
     rng = np.random.default_rng(run.seed)
     options = run.options_dict()
     unknown = set(options) - SUPPORTED_SOLVER_OPTIONS
@@ -63,6 +122,7 @@ def execute_run(run: RunSpec) -> RunRecord:
             "grid, promises in the registry family)"
         )
     cache_dir = options.pop("engine_cache_dir", None)
+    confidence = options.pop("confidence", None)
     if not run.engine:
         # The scalar baseline: no engines anywhere (a cache_dir option is
         # meaningless without an engine and is deliberately ignored).
@@ -75,15 +135,16 @@ def execute_run(run: RunSpec) -> RunRecord:
     else:
         context = nullcontext()
     with context:
-        instance = build_instance(run.family, run.params_dict(), rng)
+        instance = build_instance(run.family, run.instance_params(), rng)
         base = instance.group.group if isinstance(instance.group, BlackBoxGroup) else instance.group
-        sampler = make_sampler(run.sampler, rng)
+        sampler = make_sampler(run.sampler, rng, pool=shard_pool)
         start = time.perf_counter()
         solution = solve_hsp(
             instance,
             strategy=run.strategy,
             sampler=sampler,
             use_engine=run.engine,
+            confidence=confidence,
         )
         wall = time.perf_counter() - start
         success = instance.verify(solution.generators or [base.identity()])
@@ -103,26 +164,154 @@ def execute_run(run: RunSpec) -> RunRecord:
     )
 
 
+#: ``File "<abs path>/module.py"`` -> ``File "module.py"`` in tracebacks: the
+#: captured error text lands in the *deterministic* BENCH rows, which must
+#: not vary with where the repo happens to be checked out.
+_TRACEBACK_PATH = re.compile(r'(File ")([^"]*[/\\])([^"/\\]+")')
+
+
+def _normalize_traceback(text: str) -> str:
+    return _TRACEBACK_PATH.sub(r"\1\3", text)
+
+
+def execute_run_safe(run: RunSpec, shard_pool=None) -> RunRecord:
+    """The pool-side entry point: a raising run becomes an ``"error"`` record.
+
+    Only ``Exception`` is converted — ``KeyboardInterrupt`` and other
+    ``BaseException`` interruptions propagate, leaving the journal intact for
+    a later ``--resume``.
+    """
+    try:
+        return execute_run(run, shard_pool=shard_pool)
+    except Exception:
+        return RunRecord(
+            sweep=run.sweep,
+            index=run.index,
+            family=run.family,
+            params=run.params_dict(),
+            repeat=run.repeat,
+            seed=run.seed,
+            strategy=run.strategy,
+            success=False,
+            generators=[],
+            query_report={},
+            wall_time_seconds=0.0,
+            status="error",
+            error=_normalize_traceback(traceback.format_exc()),
+        )
+
+
 def run_sweep(
     spec: SweepSpec,
     workers: int = 1,
     out_dir: Optional[str] = ".",
+    max_failures: Optional[int] = None,
+    resume: bool = False,
 ) -> Tuple[Optional[str], Dict[str, object]]:
     """Execute a sweep and persist its ``BENCH_<name>.json``.
 
     ``workers > 1`` fans the expanded run list out over a process pool; the
     rows of the resulting payload are byte-identical to a ``workers=1``
-    execution of the same spec.  ``out_dir=None`` skips persistence and just
-    returns the payload.
+    execution of the same spec.  ``out_dir=None`` skips persistence (no
+    BENCH file, no journal) and just returns the payload.
+
+    ``max_failures=None`` (the default) captures every raising run as an
+    ``status="error"`` row and finishes the sweep; an integer budget raises
+    :class:`SweepAborted` once more than that many runs of *this attempt*
+    have failed (a resumed attempt retries previously-errored runs, so the
+    budget is fresh).
+
+    ``resume=True`` replays the ``BENCH_<name>.partial.jsonl`` journal in
+    ``out_dir``: journaled ``status="ok"`` rows are skipped; journaled
+    *error* rows are **retried** together with the never-journaled
+    remainder (a deterministic failure reproduces the identical error row,
+    a transient one heals — which is the point of resuming after a fix).
+    The journal is validated against ``spec`` and removed once the sweep
+    completes and the BENCH file is written.
     """
     runs = spec.expand()
+    jpath: Optional[str] = None
+    done: Dict[Tuple[int, int], RunRecord] = {}
+    if out_dir is not None:
+        jpath = journal_path(out_dir, spec.name)
+        if resume and os.path.exists(jpath):
+            journaled = load_journal(jpath, spec)
+            done = {
+                key: record for key, record in journaled.items() if record.status != "error"
+            }
+            # Compact the journal back to exactly the state being resumed
+            # from: a torn trailing fragment from the crash is dropped (so
+            # this attempt's appends start on a clean line), retried error
+            # rows are removed, and a headerless file gets a valid header.
+            rewrite_journal(jpath, spec, list(done.values()))
+        else:
+            # A fresh run starts a fresh journal; a stale one (different
+            # earlier attempt, not being resumed) is overwritten by the
+            # header write.
+            write_journal_header(jpath, spec)
+
+    pending = [run for run in runs if (run.index, run.seed) not in done]
+    records: List[RunRecord] = list(done.values())
+    failures = 0
+
+    def admit(record: RunRecord) -> None:
+        nonlocal failures
+        if jpath is not None:
+            append_journal(jpath, record)
+        records.append(record)
+        if record.status == "error":
+            failures += 1
+
+    def over_budget() -> bool:
+        return max_failures is not None and failures > max_failures
+
     if workers <= 1:
-        records = [execute_run(run) for run in runs]
+        # Inline execution is where a SamplerSpec with shards= gets a real
+        # worker pool: one executor shared by every run of the sweep.
+        shards = spec.sampler.shards
+        pool_context = (
+            ProcessPoolExecutor(max_workers=int(shards))
+            if shards is not None and shards > 1
+            else nullcontext(None)
+        )
+        with pool_context as shard_pool:
+            for run in pending:
+                admit(execute_run_safe(run, shard_pool=shard_pool))
+                if over_budget():
+                    raise SweepAborted(spec.name, failures, max_failures, jpath)
     else:
+        # Bounded incremental submission: at most ~2x workers runs are ever
+        # in flight, so a --max-failures abort stops dispatching almost
+        # immediately instead of waiting out an eagerly-submitted tail, and
+        # every record that did complete is journaled before the abort
+        # (records may journal out of input order; rows are keyed and later
+        # sorted by index, so the payload is unaffected).
         with ProcessPoolExecutor(max_workers=int(workers)) as pool:
-            records = list(pool.map(execute_run, runs))
+            queue = list(reversed(pending))
+            in_flight = set()
+            window = 2 * int(workers)
+            while queue or in_flight:
+                while queue and len(in_flight) < window:
+                    in_flight.add(pool.submit(execute_run_safe, queue.pop()))
+                finished, in_flight = wait(in_flight, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    admit(future.result())
+                if over_budget():
+                    for future in in_flight:
+                        future.cancel()
+                    # Runs already executing cannot be cancelled; wait them
+                    # out and journal their records so --resume does not
+                    # repeat work that in fact completed.
+                    drained, _ = wait(in_flight)
+                    for future in drained:
+                        if not future.cancelled():
+                            admit(future.result())
+                    raise SweepAborted(spec.name, failures, max_failures, jpath)
+
     payload = bench_payload(spec, workers, records)
     if out_dir is None:
         return None, payload
     path = write_bench(out_dir, spec.name, payload)
+    if jpath is not None:
+        remove_journal(jpath)
     return path, payload

@@ -21,10 +21,18 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["DEFAULT_SEED", "SamplerSpec", "SweepSpec", "RunSpec", "derive_seed"]
+__all__ = ["DEFAULT_SEED", "RESERVED_GRID_KEYS", "SamplerSpec", "SweepSpec", "RunSpec", "derive_seed"]
 
 #: The suite-wide master seed (the paper's arXiv submission date).
 DEFAULT_SEED = 20010202
+
+#: Grid keys routed to the *solver* rather than the instance builder.  A
+#: ``"strategy"`` axis overrides :attr:`RunSpec.strategy` per grid point and a
+#: ``"confidence"`` axis becomes the ``confidence`` solver option — this is
+#: what lets one declarative sweep scan success probability versus sampling
+#: rounds, or cross two strategies over the same instances.  Both stay in
+#: :attr:`RunSpec.params` so the BENCH rows record the swept value.
+RESERVED_GRID_KEYS = ("strategy", "confidence")
 
 
 def derive_seed(master: int, index: int) -> int:
@@ -86,6 +94,10 @@ class RunSpec:
 
     def params_dict(self) -> Dict[str, object]:
         return dict(self.params)
+
+    def instance_params(self) -> Dict[str, object]:
+        """The builder-facing parameters: ``params`` minus the reserved keys."""
+        return {key: value for key, value in self.params if key not in RESERVED_GRID_KEYS}
 
     def options_dict(self) -> Dict[str, object]:
         return dict(self.solver_options)
@@ -164,6 +176,12 @@ class SweepSpec:
         runs: List[RunSpec] = []
         index = 0
         for point in self.points():
+            strategy = str(point.get("strategy", self.strategy))
+            options = self.solver_options
+            if "confidence" in point:
+                merged = dict(options)
+                merged["confidence"] = int(point["confidence"])
+                options = tuple(sorted(merged.items()))
             for repeat in range(self.repeats):
                 runs.append(
                     RunSpec(
@@ -173,9 +191,9 @@ class SweepSpec:
                         params=tuple(sorted(point.items())),
                         repeat=repeat,
                         seed=derive_seed(self.seed, index),
-                        strategy=self.strategy,
+                        strategy=strategy,
                         sampler=self.sampler,
-                        solver_options=self.solver_options,
+                        solver_options=options,
                         engine=self.engine,
                     )
                 )

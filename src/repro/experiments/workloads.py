@@ -46,6 +46,54 @@ declare(
     )
 )
 
+# -- fault-tolerance drill (CI interruption/resume coverage) -----------------
+
+declare(
+    SweepSpec.from_grid(
+        "fault-smoke",
+        "diagnostic_fault",
+        {"n": [8], "fail": [False, True]},
+        repeats=2,
+        description="2 healthy + 2 deterministically failing runs; drives the "
+        "error-capture, --max-failures and --resume CI checks",
+    )
+)
+
+# -- statistics workloads (success vs rounds, strategy crossover) ------------
+
+declare(
+    SweepSpec.from_grid(
+        "success-vs-rounds",
+        "dihedral_rotation",
+        {"n": [16, 64], "confidence": [1, 2, 4, 8, 16]},
+        repeats=8,
+        description="success probability vs the Fourier-sampling stopping "
+        "confidence (rounds) on Theorem 8 instances",
+    )
+)
+
+declare(
+    SweepSpec.from_grid(
+        "success-vs-rounds-abelian",
+        "abelian_random",
+        {"moduli": [(16, 9, 5)], "confidence": [1, 2, 4, 8, 16]},
+        repeats=8,
+        description="success probability vs stopping confidence on random "
+        "Abelian instances (Theorem 3)",
+    )
+)
+
+declare(
+    SweepSpec.from_grid(
+        "strategy-crossover",
+        "dihedral_rotation",
+        {"n": [8, 16, 32, 64, 128], "strategy": ["hidden_normal", "classical"]},
+        repeats=4,
+        description="query-count crossover of the quantum Theorem 8 path vs "
+        "the exhaustive classical baseline as |G| grows",
+    )
+)
+
 # -- E4: hidden normal subgroups (Theorem 8) ---------------------------------
 
 declare(

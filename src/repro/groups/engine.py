@@ -41,7 +41,15 @@ import numpy as np
 
 from repro.groups.base import FiniteGroup, GroupError
 
-__all__ = ["CayleyBackend", "get_engine", "maybe_engine", "engine_disabled", "engine_cache"]
+__all__ = [
+    "CayleyBackend",
+    "get_engine",
+    "maybe_engine",
+    "engine_disabled",
+    "engine_cache",
+    "cache_entries",
+    "prune_cache",
+]
 
 #: Largest group order for which the dense (lazily filled) Cayley table is used.
 DEFAULT_TABLE_LIMIT = 4096
@@ -166,6 +174,15 @@ class CayleyBackend:
                 and inv_table.shape == (n,)
                 and inv_table.dtype == np.int32
             ):
+                # Mark the reuse so LRU eviction (prune_cache) sees these
+                # files as recently used even when nothing is written back.
+                # Best effort: a read-only cache (shared/baked image) or a
+                # concurrent prune must not break the table load itself.
+                for path in (table_path, inv_path):
+                    try:
+                        os.utime(path)
+                    except OSError:
+                        pass
                 self._table = table
                 self._inv_table = inv_table
                 return
@@ -575,6 +592,74 @@ def engine_cache(cache_dir: str):
         yield
     finally:
         _DEFAULT_CACHE_DIR = previous
+
+
+def cache_entries(cache_dir: str) -> List[Dict[str, object]]:
+    """The persistent Cayley-table cache entries of ``cache_dir``.
+
+    One entry per digest (the ``-table.npy`` / ``-inv.npy`` pair written by
+    :meth:`CayleyBackend._attach_persistent_tables`), with the combined byte
+    size and the most recent mtime across the pair — the "last used" stamp,
+    since reuse touches the files.  A ``cayley-*.npy.tmp-<pid>`` file left
+    behind by a crashed writer is its own entry (keyed by filename), so the
+    listing reports true disk usage and pruning can reclaim it.  Sorted
+    least-recently-used first, which is the eviction order of
+    :func:`prune_cache`.  Files that do not match either naming scheme are
+    ignored.
+    """
+    pairs: Dict[str, Dict[str, object]] = {}
+    if not os.path.isdir(cache_dir):
+        return []
+    for name in os.listdir(cache_dir):
+        if not name.startswith("cayley-"):
+            continue
+        if name.endswith(".npy"):
+            stem = name[len("cayley-") : -len(".npy")]
+            digest, _, kind = stem.rpartition("-")
+            if kind not in ("table", "inv") or not digest:
+                continue
+        elif ".npy.tmp-" in name:
+            digest = name  # an orphaned writer temp file: one entry per file
+        else:
+            continue
+        path = os.path.join(cache_dir, name)
+        try:
+            stat = os.stat(path)
+        except OSError:
+            continue  # racing eviction/cleanup
+        entry = pairs.setdefault(
+            digest, {"digest": digest, "files": [], "bytes": 0, "last_used": 0.0}
+        )
+        entry["files"].append(path)
+        entry["bytes"] += stat.st_size
+        entry["last_used"] = max(entry["last_used"], stat.st_mtime)
+    return sorted(pairs.values(), key=lambda entry: (entry["last_used"], entry["digest"]))
+
+
+def prune_cache(cache_dir: str, max_bytes: int) -> List[Dict[str, object]]:
+    """Evict least-recently-used cache entries until the total fits ``max_bytes``.
+
+    Entries (both files of a digest pair together — a half-evicted pair
+    would be rebuilt anyway) are removed oldest-mtime first until the
+    remaining total size is at most ``max_bytes``.  Returns the evicted
+    entries.  ``max_bytes=0`` empties the cache.
+    """
+    if max_bytes < 0:
+        raise ValueError(f"max_bytes must be non-negative, got {max_bytes}")
+    entries = cache_entries(cache_dir)
+    total = sum(entry["bytes"] for entry in entries)
+    evicted: List[Dict[str, object]] = []
+    for entry in entries:
+        if total <= max_bytes:
+            break
+        for path in entry["files"]:
+            try:
+                os.remove(path)
+            except OSError:
+                pass  # already gone: a concurrent prune or manual cleanup
+        total -= entry["bytes"]
+        evicted.append(entry)
+    return evicted
 
 
 def maybe_engine(

@@ -89,6 +89,7 @@ class TestRegistry:
         "abelian_random": {"moduli": (8, 9)},
         "dihedral_rotation": {"n": 8},
         "dihedral_bounded_quotient": {"d": 3},
+        "diagnostic_fault": {"n": 8},
         "metacyclic_core": {"pq": (7, 3)},
         "symmetric_alternating": {"n": 4},
         "extraspecial_center": {"p": 3},
@@ -254,7 +255,7 @@ class TestCLI:
     def test_run_exits_nonzero_when_a_solve_fails(self, tmp_path, capsys, monkeypatch):
         import repro.experiments.cli as cli_module
 
-        def failing_run_sweep(spec, workers=1, out_dir="."):
+        def failing_run_sweep(spec, workers=1, out_dir=".", max_failures=None, resume=False):
             payload = {
                 "workers": workers,
                 "rows": [],
@@ -262,6 +263,7 @@ class TestCLI:
                 "aggregate": {
                     "runs": 2,
                     "successes": 1,
+                    "errors": 0,
                     "success_rate": 0.5,
                     "strategies": {},
                     "query_totals": {},
