@@ -27,9 +27,15 @@ persistent experiment layer:
     checkpoint journal behind ``--resume``;
 ``workloads``
     the declared sweeps (including the migrated ``benchmarks/bench_*``
-    workloads);
+    workloads) and the per-workload analysis directives (which grid axes
+    are statistical vs structural, which model to fit);
+``analysis``
+    statistics post-processing over BENCH rows — Wilson-interval cell
+    tables, ``1-(1-p)^r`` saturation fits, strategy-crossover location —
+    persisted deterministically as ``ANALYSIS_<name>.json``;
 ``cli``
-    the ``python -m repro.experiments run/list/report`` entry point.
+    the ``python -m repro.experiments run/list/report/summarise/plot``
+    entry point.
 
 A sweep executed with ``workers=1`` and ``workers=N`` at the same seed
 produces byte-identical result rows: every run's randomness derives from its
@@ -37,38 +43,69 @@ own :class:`numpy.random.SeedSequence`-spawned seed, not from execution
 order.
 """
 
+from repro.experiments.analysis import (
+    analyse,
+    analysis_path,
+    fit_saturation,
+    locate_crossover,
+    wilson_interval,
+    write_analysis,
+)
 from repro.experiments.registry import build_instance, families
 from repro.experiments.results import (
     RunRecord,
+    SpecMismatch,
     aggregate_records,
     bench_payload,
     journal_path,
     load_bench,
     load_journal,
+    load_validated_bench,
+    resolve_bench,
     write_bench,
 )
 from repro.experiments.runner import SweepAborted, execute_run, execute_run_safe, run_sweep
 from repro.experiments.specs import DEFAULT_SEED, RunSpec, SamplerSpec, SweepSpec
-from repro.experiments.workloads import WORKLOADS, get_workload
+from repro.experiments.workloads import (
+    ANALYSES,
+    WORKLOADS,
+    AnalysisDirective,
+    axis_roles,
+    get_analysis,
+    get_workload,
+)
 
 __all__ = [
+    "ANALYSES",
     "DEFAULT_SEED",
+    "AnalysisDirective",
     "RunSpec",
     "SamplerSpec",
+    "SpecMismatch",
     "SweepAborted",
     "SweepSpec",
     "RunRecord",
     "WORKLOADS",
     "aggregate_records",
+    "analyse",
+    "analysis_path",
+    "axis_roles",
     "bench_payload",
     "build_instance",
     "execute_run",
     "execute_run_safe",
     "families",
+    "fit_saturation",
+    "get_analysis",
     "get_workload",
     "journal_path",
     "load_bench",
     "load_journal",
+    "load_validated_bench",
+    "locate_crossover",
+    "resolve_bench",
     "run_sweep",
+    "wilson_interval",
+    "write_analysis",
     "write_bench",
 ]

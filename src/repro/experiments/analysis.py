@@ -1,0 +1,720 @@
+"""Statistics post-processing over BENCH rows (``summarise`` / ``plot``).
+
+PR 3 produced the raw material — ``BENCH_success-vs-rounds*.json`` and
+``BENCH_strategy-crossover.json`` hold per-run rows — and this module turns
+them into the paper's headline empirical claims:
+
+* **cells** — rows grouped by their grid-axis values (``seed``/``repeat``
+  never enter the key), each cell carrying its success rate with a *Wilson
+  score* confidence interval.  A cell with no completed runs reports
+  ``success_rate: None`` — never a fabricated point estimate;
+* **saturation fits** — the ``success-vs-rounds*`` families are fitted per
+  structural slice to the repeated-trial model ``s(r) = 1 - (1-p)^r``
+  (success probability after ``r`` independent rounds each succeeding with
+  probability ``p``) by deterministic weighted least squares, reporting the
+  fitted ``p`` and per-point residuals;
+* **crossover location** — for ``strategy-crossover``, the mean query cost
+  of the two strategies is interpolated along the group-size axis to the
+  point where the curves intersect, with an interval propagated from the
+  per-cell standard errors.
+
+Everything is deterministic and dependency-free (no ``scipy``): the fit
+minimises over ``p`` with a fixed coarse scan plus golden-section
+refinement, floats are rounded to 12 significant digits before
+serialisation, and ``write_analysis`` emits ``ANALYSIS_<name>.json``
+atomically with sorted keys — the same BENCH input yields byte-identical
+output on every rerun and machine (the CI ``analysis-smoke`` job asserts
+this).  Only basenames of source files are recorded (path-normalised rows,
+as with the PR 3 tracebacks).
+
+The human-facing renderers (`format_table`, `format_summary`,
+`ascii_plot`, `render_svg`) are pure functions of the analysis payload, so
+``plot`` output is exactly as reproducible as the JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.results import _safe_name, atomic_write_json
+from repro.experiments.workloads import AnalysisDirective, axis_roles, get_analysis
+
+__all__ = [
+    "ANALYSIS_VERSION",
+    "DEFAULT_Z",
+    "analyse",
+    "analysis_path",
+    "ascii_plot",
+    "directive_for",
+    "fit_saturation",
+    "format_summary",
+    "format_table",
+    "group_cells",
+    "locate_crossover",
+    "render_svg",
+    "wilson_interval",
+    "write_analysis",
+]
+
+#: Schema version of ``ANALYSIS_<name>.json``; bumped on shape changes so the
+#: CI smoke job catches drift instead of silently comparing unlike files.
+ANALYSIS_VERSION = 1
+
+#: The 95% normal quantile used for every interval in the file.  A fixed
+#: constant (not a CLI knob) keeps the ANALYSIS output a pure function of
+#: the BENCH input.
+DEFAULT_Z = 1.96
+
+
+def _round(value: float) -> float:
+    """12-significant-digit rounding: stable bytes without visible loss."""
+    return float(f"{float(value):.12g}")
+
+
+def _cell_key(params: Dict[str, object]) -> str:
+    return json.dumps(params, sort_keys=True, default=list)
+
+
+# ---------------------------------------------------------------------------
+# Wilson score intervals and the cell table
+# ---------------------------------------------------------------------------
+
+
+def wilson_interval(successes: int, runs: int, z: float = DEFAULT_Z) -> Optional[Tuple[float, float]]:
+    """The Wilson score interval for ``successes`` out of ``runs`` trials.
+
+    Unlike the normal approximation it behaves at the edges — 0/N yields a
+    nonzero upper bound and N/N a sub-1 lower bound, which is exactly what
+    small sweep cells need.  ``runs == 0`` has no estimate at all: ``None``,
+    never a fabricated interval.
+    """
+    if runs <= 0:
+        return None
+    if not 0 <= successes <= runs:
+        raise ValueError(f"successes must be within [0, runs]; got {successes}/{runs}")
+    phat = successes / runs
+    z2 = z * z
+    denom = 1.0 + z2 / runs
+    centre = phat + z2 / (2.0 * runs)
+    margin = z * math.sqrt(phat * (1.0 - phat) / runs + z2 / (4.0 * runs * runs))
+    low = max(0.0, (centre - margin) / denom)
+    high = min(1.0, (centre + margin) / denom)
+    return (_round(low), _round(high))
+
+
+def group_cells(payload: Dict[str, object], z: float = DEFAULT_Z) -> List[Dict[str, object]]:
+    """Group rows into per-grid-point cells with success statistics.
+
+    The cell key is the row's ``params`` — the grid axes and nothing else;
+    ``seed``, ``repeat`` and ``index`` never reach the key, so repeats of
+    one grid point aggregate into one cell.  Only ``status="ok"`` rows
+    enter the success statistics; errored rows are tallied per cell in
+    ``errors``.  A cell whose runs all errored reports ``success_rate:
+    None`` with no interval.  Cells appear in first-row order (the
+    deterministic grid expansion order of the file).
+    """
+    cells: Dict[str, Dict[str, object]] = {}
+    order: List[str] = []
+    for row in payload["rows"]:
+        params = dict(row.get("params", {}))
+        key = _cell_key(params)
+        if key not in cells:
+            cells[key] = {
+                "params": params,
+                "runs": 0,
+                "successes": 0,
+                "errors": 0,
+                "_query_sums": {},
+            }
+            order.append(key)
+        cell = cells[key]
+        if row.get("status") == "error":
+            cell["errors"] += 1
+            continue
+        cell["runs"] += 1
+        cell["successes"] += 1 if row.get("success") else 0
+        for name, count in dict(row.get("query_report", {})).items():
+            cell["_query_sums"][name] = cell["_query_sums"].get(name, 0) + int(count)
+    out: List[Dict[str, object]] = []
+    for key in order:
+        cell = cells[key]
+        runs, successes = cell["runs"], cell["successes"]
+        interval = wilson_interval(successes, runs, z=z)
+        out.append(
+            {
+                "params": cell["params"],
+                "runs": runs,
+                "successes": successes,
+                "errors": cell["errors"],
+                "success_rate": _round(successes / runs) if runs else None,
+                "wilson_low": interval[0] if interval else None,
+                "wilson_high": interval[1] if interval else None,
+                "mean_queries": {
+                    name: _round(total / runs)
+                    for name, total in sorted(cell["_query_sums"].items())
+                }
+                if runs
+                else {},
+            }
+        )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# The saturation model:  s(r) = 1 - (1 - p)^r
+# ---------------------------------------------------------------------------
+
+
+def _saturation_sse(p: float, points: Sequence[Tuple[float, int, int]]) -> float:
+    total = 0.0
+    for x, successes, runs in points:
+        predicted = 1.0 - (1.0 - p) ** x
+        residual = successes / runs - predicted
+        total += runs * residual * residual
+    return total
+
+
+def fit_saturation(points: Sequence[Tuple[float, int, int]]) -> Optional[Dict[str, object]]:
+    """Weighted least-squares fit of ``(x, successes, runs)`` points to
+    ``s(x) = 1 - (1-p)^x``.
+
+    ``p`` is the fitted per-round success probability.  The minimiser is a
+    fixed 2000-point coarse scan of ``p`` over (0, 1) followed by 100
+    golden-section iterations on the bracketing interval — deterministic to
+    the bit, no ``scipy``.  Needs at least two points with completed runs;
+    returns ``None`` otherwise.
+    """
+    # Successes stay float: real rows pass integer counts, but synthetic
+    # callers may pass exact expected counts — truncating would bias the fit.
+    usable = [(float(x), float(s), int(n)) for x, s, n in points if n > 0]
+    if len(usable) < 2:
+        return None
+    usable.sort(key=lambda point: point[0])
+    eps = 1e-9
+    steps = 2000
+    best_index = min(
+        range(1, steps),
+        key=lambda i: _saturation_sse(i / steps, usable),
+    )
+    low = max(eps, (best_index - 1) / steps)
+    high = min(1.0 - eps, (best_index + 1) / steps)
+    # Golden-section search on the bracket (SSE is smooth in p).
+    inv_phi = (math.sqrt(5.0) - 1.0) / 2.0
+    a, b = low, high
+    c = b - inv_phi * (b - a)
+    d = a + inv_phi * (b - a)
+    fc, fd = _saturation_sse(c, usable), _saturation_sse(d, usable)
+    for _ in range(100):
+        if fc < fd:
+            b, d, fd = d, c, fc
+            c = b - inv_phi * (b - a)
+            fc = _saturation_sse(c, usable)
+        else:
+            a, c, fc = c, d, fd
+            d = a + inv_phi * (b - a)
+            fd = _saturation_sse(d, usable)
+    p = _round((a + b) / 2.0)
+    fit_points = []
+    for x, successes, runs in usable:
+        rate = successes / runs
+        fitted = 1.0 - (1.0 - p) ** x
+        fit_points.append(
+            {
+                "x": _round(x),
+                "runs": runs,
+                "rate": _round(rate),
+                "fitted": _round(fitted),
+                "residual": _round(rate - fitted),
+            }
+        )
+    return {
+        "model": "1-(1-p)^r",
+        "p": p,
+        "sse": _round(_saturation_sse(p, usable)),
+        "points": fit_points,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Crossover location
+# ---------------------------------------------------------------------------
+
+
+def _interp_zero(x0: float, y0: float, x1: float, y1: float, log_scale: bool) -> float:
+    """The zero crossing of the segment ``(x0,y0)-(x1,y1)``; ``log_scale``
+    interpolates in log2(x) — the natural scale of a group-order axis."""
+    if log_scale:
+        t0, t1 = math.log2(x0), math.log2(x1)
+    else:
+        t0, t1 = x0, x1
+    t = t0 - y0 * (t1 - t0) / (y1 - y0)
+    return 2.0 ** t if log_scale else t
+
+
+def _band_crossing(
+    xs: Sequence[float], diffs: Sequence[float], log_scale: bool
+) -> Optional[float]:
+    for i in range(len(xs) - 1):
+        y0, y1 = diffs[i], diffs[i + 1]
+        if y0 == 0.0:
+            return xs[i]
+        if (y0 < 0.0 < y1) or (y1 < 0.0 < y0):
+            return _interp_zero(xs[i], y0, xs[i + 1], y1, log_scale)
+    if diffs and diffs[-1] == 0.0:
+        return xs[-1]
+    return None
+
+
+def locate_crossover(
+    series: Dict[str, List[Tuple[float, float, float, int]]], z: float = DEFAULT_Z
+) -> Optional[Dict[str, object]]:
+    """Where two cost curves intersect, with an uncertainty interval.
+
+    ``series`` maps each of exactly two series names (e.g. the two strategy
+    values) to ``(x, mean_cost, standard_error, runs)`` points.  The
+    difference curve ``cost(first) - cost(second)`` (names in sorted order)
+    is interpolated to its zero crossing — in ``log2(x)`` when every x is
+    positive, the natural scale for group orders.  The interval comes from
+    crossing the ``diff ± z·SE(diff)`` bands (SEs add in quadrature); a
+    band that never crosses within the measured range clamps to the range
+    edge.  Returns ``None`` when the curves do not cross in range.
+    """
+    if len(series) != 2:
+        return None
+    first, second = sorted(series)
+    by_x_first = {x: (mean, se) for x, mean, se, _ in series[first]}
+    by_x_second = {x: (mean, se) for x, mean, se, _ in series[second]}
+    xs = sorted(set(by_x_first) & set(by_x_second))
+    if len(xs) < 2:
+        return None
+    log_scale = all(x > 0 for x in xs)
+    diffs, ses = [], []
+    for x in xs:
+        mean_a, se_a = by_x_first[x]
+        mean_b, se_b = by_x_second[x]
+        diffs.append(mean_a - mean_b)
+        ses.append(math.sqrt(se_a * se_a + se_b * se_b))
+    centre = _band_crossing(xs, diffs, log_scale)
+    if centre is None:
+        return None
+    lower_band = [d - z * s for d, s in zip(diffs, ses)]
+    upper_band = [d + z * s for d, s in zip(diffs, ses)]
+    candidates = []
+    for band in (lower_band, upper_band):
+        crossing = _band_crossing(xs, band, log_scale)
+        # A band that stays one-signed over the range means the uncertainty
+        # reaches past the measured x values: clamp to the range edge on
+        # the side the centre crossing leans toward.
+        candidates.append(crossing if crossing is not None else (xs[0] if band[0] * diffs[0] <= 0 else xs[-1]))
+    low, high = sorted(candidates)
+    return {
+        "series": [first, second],
+        "x": _round(centre),
+        "low": _round(low),
+        "high": _round(high),
+        "scale": "log2" if log_scale else "linear",
+        "points": [
+            {
+                "x": _round(x),
+                first: _round(by_x_first[x][0]),
+                second: _round(by_x_second[x][0]),
+                "diff": _round(d),
+                "diff_se": _round(s),
+            }
+            for x, d, s in zip(xs, diffs, ses)
+        ],
+    }
+
+
+# ---------------------------------------------------------------------------
+# The full analysis
+# ---------------------------------------------------------------------------
+
+
+def directive_for(payload: Dict[str, object]) -> AnalysisDirective:
+    """The analysis directive of a payload: the declared one when the sweep
+    name is a known workload, else a default derived from the grid shape
+    (a ``confidence`` axis ⇒ saturation, a two-valued ``strategy`` axis
+    over a structural axis ⇒ crossover, anything else ⇒ the cell table).
+    """
+    spec = payload["sweep"]
+    declared = get_analysis(str(spec.get("name", "")))
+    if declared is not None:
+        return declared
+    grid = dict(spec.get("grid", {}))
+    roles = axis_roles(list(grid))
+    if "confidence" in grid and len(grid["confidence"]) >= 2:
+        return AnalysisDirective(str(spec.get("name", "")), "saturation", x_axis="confidence")
+    if "strategy" in grid and len(grid["strategy"]) == 2 and roles["structural"]:
+        return AnalysisDirective(
+            str(spec.get("name", "")),
+            "crossover",
+            x_axis=roles["structural"][0],
+            series_axis="strategy",
+        )
+    axes = roles["structural"] + roles["statistical"]
+    return AnalysisDirective(str(spec.get("name", "")), "table", x_axis=axes[0] if axes else "")
+
+
+def _slice_key(params: Dict[str, object], exclude: Sequence[str]) -> Dict[str, object]:
+    return {key: value for key, value in params.items() if key not in exclude}
+
+
+def _numeric(value) -> Optional[float]:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    return float(value)
+
+
+def _saturation_fits(
+    cells: Sequence[Dict[str, object]], x_axis: str
+) -> List[Dict[str, object]]:
+    slices: Dict[str, Dict[str, object]] = {}
+    order: List[str] = []
+    for cell in cells:
+        x = _numeric(cell["params"].get(x_axis))
+        if x is None or not cell["runs"]:
+            continue
+        group = _slice_key(cell["params"], (x_axis,))
+        key = _cell_key(group)
+        if key not in slices:
+            slices[key] = {"group": group, "points": []}
+            order.append(key)
+        slices[key]["points"].append((x, cell["successes"], cell["runs"]))
+    fits = []
+    for key in order:
+        entry = slices[key]
+        fit = fit_saturation(entry["points"])
+        if fit is not None:
+            fits.append({"group": entry["group"], **fit})
+    return fits
+
+
+def _cost_series(
+    payload: Dict[str, object],
+    x_axis: str,
+    series_axis: str,
+    cost_keys: Sequence[str],
+) -> Tuple[Dict[str, Dict[str, List[Tuple[float, float, float, int]]]], Dict[str, Dict[str, object]]]:
+    """Per structural slice, the ``(x, mean, SE, runs)`` cost points of each
+    series value, from ``status="ok"`` rows.  SE is the sample standard
+    error of the per-run cost over a cell's repeats (0 for a single run)."""
+    samples: Dict[str, Dict[str, Dict[float, List[float]]]] = {}
+    slice_groups: Dict[str, Dict[str, object]] = {}
+    for row in payload["rows"]:
+        if row.get("status") == "error":
+            continue
+        params = dict(row.get("params", {}))
+        x = _numeric(params.get(x_axis))
+        series_value = params.get(series_axis)
+        if x is None or series_value is None:
+            continue
+        group = _slice_key(params, (x_axis, series_axis))
+        group_key = _cell_key(group)
+        slice_groups[group_key] = group
+        cost = float(sum(int(row.get("query_report", {}).get(key, 0)) for key in cost_keys))
+        samples.setdefault(group_key, {}).setdefault(str(series_value), {}).setdefault(
+            x, []
+        ).append(cost)
+    out: Dict[str, Dict[str, List[Tuple[float, float, float, int]]]] = {}
+    for group_key, by_series in samples.items():
+        out[group_key] = {}
+        for series_value, by_x in by_series.items():
+            points = []
+            for x in sorted(by_x):
+                costs = by_x[x]
+                k = len(costs)
+                mean = sum(costs) / k
+                if k > 1:
+                    variance = sum((c - mean) ** 2 for c in costs) / (k - 1)
+                    se = math.sqrt(variance / k)
+                else:
+                    se = 0.0
+                points.append((x, mean, se, k))
+            out[group_key][series_value] = points
+    return out, slice_groups
+
+
+def analyse(
+    payload: Dict[str, object],
+    source: Optional[str] = None,
+    directive: Optional[AnalysisDirective] = None,
+    z: float = DEFAULT_Z,
+) -> Dict[str, object]:
+    """The full ``ANALYSIS_<name>.json`` payload of a validated BENCH payload.
+
+    Pure and deterministic: no timestamps, no absolute paths (``source`` is
+    recorded as its basename), floats rounded before serialisation.  The
+    caller is expected to have loaded ``payload`` through
+    ``load_validated_bench`` so rows agree with the spec header.
+    """
+    directive = directive or directive_for(payload)
+    spec = payload["sweep"]
+    grid = dict(spec.get("grid", {}))
+    cells = group_cells(payload, z=z)
+    errors = sum(cell["errors"] for cell in cells)
+    analysis: Dict[str, object] = {
+        "analysis_version": ANALYSIS_VERSION,
+        "z": z,
+        "source": os.path.basename(source) if source else None,
+        "sweep": {
+            "name": spec.get("name"),
+            "family": spec.get("family"),
+            "seed": spec.get("seed"),
+            "grid": grid,
+            "repeats": spec.get("repeats"),
+        },
+        "kind": directive.kind,
+        "axes": {
+            **axis_roles(list(grid)),
+            "x": directive.x_axis or None,
+            "series": directive.series_axis,
+        },
+        "runs": sum(cell["runs"] for cell in cells),
+        "errors": errors,
+        "cells": cells,
+        "fits": [],
+        "crossover": None,
+    }
+    if directive.kind == "saturation" and directive.x_axis:
+        analysis["fits"] = _saturation_fits(cells, directive.x_axis)
+    elif directive.kind == "crossover" and directive.x_axis and directive.series_axis:
+        series_by_slice, slice_groups = _cost_series(
+            payload, directive.x_axis, directive.series_axis, directive.cost_keys
+        )
+        crossovers = []
+        for group_key in sorted(series_by_slice):
+            located = locate_crossover(series_by_slice[group_key], z=z)
+            if located is not None:
+                located["group"] = slice_groups[group_key]
+                located["cost_keys"] = list(directive.cost_keys)
+                located["x_axis"] = directive.x_axis
+                crossovers.append(located)
+        # One structural slice is the common case (strategy-crossover has
+        # none besides x); keep the first as the headline, all in "fits"-like
+        # completeness under "crossovers".
+        analysis["crossover"] = crossovers[0] if crossovers else None
+        analysis["crossovers"] = crossovers
+    return analysis
+
+
+# ---------------------------------------------------------------------------
+# Persistence
+# ---------------------------------------------------------------------------
+
+
+def analysis_path(out_dir: str, name: str) -> str:
+    # The same sanitiser as bench_path, so BENCH/ANALYSIS files pair up.
+    return os.path.join(out_dir, f"ANALYSIS_{_safe_name(str(name))}.json")
+
+
+def write_analysis(out_dir: str, name: str, analysis: Dict[str, object]) -> str:
+    """Atomically write ``ANALYSIS_<name>.json`` (temp file + ``os.replace``),
+    sorted keys — byte-identical across reruns on the same BENCH input."""
+    return atomic_write_json(analysis_path(out_dir, name), analysis)
+
+
+# ---------------------------------------------------------------------------
+# Human-readable rendering: table, summary, ASCII plot, SVG
+# ---------------------------------------------------------------------------
+
+
+def _format_params(params: Dict[str, object]) -> str:
+    return ", ".join(f"{key}={value}" for key, value in sorted(params.items())) or "-"
+
+
+def format_table(analysis: Dict[str, object]) -> str:
+    """The per-cell success table: rate and Wilson interval per grid point."""
+    lines = [
+        f"  {'params':<36}  {'ok':>5}  {'err':>4}  {'rate':>6}  {'95% Wilson CI':<18}"
+    ]
+    for cell in analysis["cells"]:
+        rate = cell["success_rate"]
+        rate_text = "  n/a" if rate is None else f"{rate:6.3f}"
+        if cell["wilson_low"] is None:
+            interval = "(no completed runs)"
+        else:
+            interval = f"[{cell['wilson_low']:.3f}, {cell['wilson_high']:.3f}]"
+        lines.append(
+            f"  {_format_params(cell['params']):<36.36}  "
+            f"{cell['successes']}/{cell['runs']:<3}  {cell['errors']:>4}  "
+            f"{rate_text}  {interval:<18}"
+        )
+    return "\n".join(lines)
+
+
+def format_summary(analysis: Dict[str, object]) -> str:
+    """The headline lines: fitted saturation parameters and/or crossover."""
+    lines: List[str] = []
+    for fit in analysis.get("fits", []):
+        residuals = max((abs(point["residual"]) for point in fit["points"]), default=0.0)
+        lines.append(
+            f"  saturation fit {_format_params(fit['group'])}: "
+            f"s(r) = 1-(1-p)^r with p = {fit['p']:.4f} "
+            f"(sse {fit['sse']:.5f}, max |residual| {residuals:.3f}, "
+            f"{len(fit['points'])} points)"
+        )
+    crossover = analysis.get("crossover")
+    if crossover is not None:
+        first, second = crossover["series"]
+        lines.append(
+            f"  crossover {first} vs {second} on {crossover['x_axis']}: "
+            f"cost curves intersect at {crossover['x_axis']} ≈ {crossover['x']:.2f} "
+            f"(95% interval [{crossover['low']:.2f}, {crossover['high']:.2f}], "
+            f"{crossover['scale']} interpolation of "
+            f"{'+'.join(crossover['cost_keys'])})"
+        )
+    elif analysis.get("kind") == "crossover":
+        lines.append("  crossover: the cost curves do not intersect in the measured range")
+    if not lines:
+        lines.append("  (cell table only; no declared fit for this sweep)")
+    return "\n".join(lines)
+
+
+def _plot_series(analysis: Dict[str, object]) -> Tuple[str, str, Dict[str, List[Tuple[float, float]]]]:
+    """The (x label, y label, series) to plot for an analysis payload.
+
+    Saturation/table kinds plot success rate per structural slice along the
+    x axis; crossover kinds plot mean query cost per strategy series.
+    """
+    x_axis = analysis["axes"].get("x") or ""
+    crossover = analysis.get("crossover")
+    if analysis["kind"] == "crossover" and crossover is not None:
+        first, second = crossover["series"]
+        series = {
+            first: [(point["x"], point[first]) for point in crossover["points"]],
+            second: [(point["x"], point[second]) for point in crossover["points"]],
+        }
+        return crossover["x_axis"], "mean queries", series
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    for cell in analysis["cells"]:
+        x = _numeric(cell["params"].get(x_axis))
+        if x is None or cell["success_rate"] is None:
+            continue
+        label = _format_params(_slice_key(cell["params"], (x_axis,)))
+        series.setdefault(label, []).append((x, cell["success_rate"]))
+    for points in series.values():
+        points.sort()
+    return x_axis, "success rate", series
+
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_plot(analysis: Dict[str, object], width: int = 64, height: int = 16) -> str:
+    """A dependency-free character plot of the analysis' headline curves."""
+    x_label, y_label, series = _plot_series(analysis)
+    if not series or all(len(points) == 0 for points in series.values()):
+        return "  (nothing to plot: no completed runs)"
+    xs = sorted({x for points in series.values() for x, _ in points})
+    ys = [y for points in series.values() for _, y in points]
+    y_min, y_max = min(ys), max(ys)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_positions = {x: (i * (width - 1)) // max(1, len(xs) - 1) for i, x in enumerate(xs)}
+    grid = [[" "] * width for _ in range(height)]
+    for index, (label, points) in enumerate(sorted(series.items())):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in points:
+            col = x_positions[x]
+            row = int(round((y_max - y) / (y_max - y_min) * (height - 1)))
+            grid[row][col] = marker
+    lines = [f"  {y_label} vs {x_label}"]
+    for index, row in enumerate(grid):
+        if index == 0:
+            label = f"{y_max:8.2f}"
+        elif index == height - 1:
+            label = f"{y_min:8.2f}"
+        else:
+            label = " " * 8
+        lines.append(f"  {label} |{''.join(row)}|")
+    axis = [" "] * width
+    for x in xs:
+        axis[x_positions[x]] = "+"
+    lines.append(f"  {'':8} +{''.join(axis)}+")
+    lines.append(f"  {'':8}  x ({x_label}) ticks: {', '.join(f'{x:g}' for x in xs)}")
+    for index, label in enumerate(sorted(series)):
+        lines.append(f"  {'':8}  {_MARKERS[index % len(_MARKERS)]} = {label}")
+    return "\n".join(lines)
+
+
+def render_svg(analysis: Dict[str, object], width: int = 640, height: int = 400) -> str:
+    """A dependency-free SVG of the headline curves (polylines + markers)."""
+    x_label, y_label, series = _plot_series(analysis)
+    margin = 56
+    plot_w, plot_h = width - 2 * margin, height - 2 * margin
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<line x1="{margin}" y1="{height - margin}" x2="{width - margin}" '
+        f'y2="{height - margin}" stroke="black"/>',
+        f'<line x1="{margin}" y1="{margin}" x2="{margin}" y2="{height - margin}" '
+        f'stroke="black"/>',
+        f'<text x="{width // 2}" y="{height - 12}" text-anchor="middle" '
+        f'font-size="13">{x_label}</text>',
+        f'<text x="16" y="{height // 2}" text-anchor="middle" font-size="13" '
+        f'transform="rotate(-90 16 {height // 2})">{y_label}</text>',
+    ]
+    colors = ["#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"]
+    if series and any(points for points in series.values()):
+        xs = sorted({x for points in series.values() for x, _ in points})
+        ys = [y for points in series.values() for _, y in points]
+        x_min, x_max = min(xs), max(xs)
+        y_min, y_max = min(ys), max(ys)
+        if x_max == x_min:
+            x_max = x_min + 1.0
+        if y_max == y_min:
+            y_max = y_min + 1.0
+
+        def sx(x: float) -> float:
+            return margin + (x - x_min) / (x_max - x_min) * plot_w
+
+        def sy(y: float) -> float:
+            return height - margin - (y - y_min) / (y_max - y_min) * plot_h
+
+        for x in xs:
+            parts.append(
+                f'<text x="{sx(x):.1f}" y="{height - margin + 16}" text-anchor="middle" '
+                f'font-size="11">{x:g}</text>'
+            )
+        for value in (y_min, y_max):
+            parts.append(
+                f'<text x="{margin - 6}" y="{sy(value):.1f}" text-anchor="end" '
+                f'font-size="11">{value:g}</text>'
+            )
+        for index, (label, points) in enumerate(sorted(series.items())):
+            color = colors[index % len(colors)]
+            coords = " ".join(f"{sx(x):.1f},{sy(y):.1f}" for x, y in points)
+            parts.append(
+                f'<polyline points="{coords}" fill="none" stroke="{color}" stroke-width="1.5"/>'
+            )
+            for x, y in points:
+                parts.append(
+                    f'<circle cx="{sx(x):.1f}" cy="{sy(y):.1f}" r="3" fill="{color}"/>'
+                )
+            parts.append(
+                f'<text x="{width - margin - 4}" y="{margin + 14 + 16 * index}" '
+                f'text-anchor="end" font-size="12" fill="{color}">{label}</text>'
+            )
+        crossover = analysis.get("crossover")
+        if analysis["kind"] == "crossover" and crossover is not None and x_min <= crossover["x"] <= x_max:
+            cx = sx(crossover["x"])
+            parts.append(
+                f'<line x1="{cx:.1f}" y1="{margin}" x2="{cx:.1f}" y2="{height - margin}" '
+                f'stroke="#888" stroke-dasharray="4 3"/>'
+            )
+            parts.append(
+                f'<text x="{cx:.1f}" y="{margin - 6}" text-anchor="middle" font-size="11" '
+                f'fill="#555">crossover ≈ {crossover["x"]:.1f}</text>'
+            )
+    else:
+        parts.append(
+            f'<text x="{width // 2}" y="{height // 2}" text-anchor="middle" '
+            f'font-size="13">no completed runs</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts) + "\n"

@@ -1,6 +1,6 @@
 """The ``python -m repro.experiments`` command line.
 
-Four subcommands make sweeps reproducible (and restartable) from a shell:
+Six subcommands make sweeps reproducible (and analysable) from a shell:
 
 ``list``
     the declared workloads and registered instance families;
@@ -11,6 +11,13 @@ Four subcommands make sweeps reproducible (and restartable) from a shell:
     interrupted sweep from its ``BENCH_<name>.partial.jsonl`` journal;
 ``report NAME-or-PATH``
     print the per-run rows and the aggregate of a produced BENCH file;
+``summarise NAME-or-PATH``
+    statistics post-processing: per-cell success rates with Wilson score
+    intervals, saturation fits (``success-vs-rounds*``), crossover location
+    (``strategy-crossover``); writes a deterministic ``ANALYSIS_<name>.json``;
+``plot NAME-or-PATH``
+    the same statistics as an ASCII chart on stdout (``--svg FILE`` writes
+    a dependency-free SVG as well);
 ``cache ls|prune``
     inspect or LRU-evict the persistent Cayley-table cache written by
     ``CayleyBackend(cache_dir=...)`` / the ``engine_cache_dir`` solver
@@ -22,6 +29,8 @@ Examples::
     python -m repro.experiments run smoke --workers 2 --out .benchmarks
     python -m repro.experiments run smoke --resume --out .benchmarks
     python -m repro.experiments report smoke --out .benchmarks
+    python -m repro.experiments summarise success-vs-rounds
+    python -m repro.experiments plot strategy-crossover --svg crossover.svg
     python -m repro.experiments cache ls .cayley-cache
     python -m repro.experiments cache prune .cayley-cache --max-bytes 1000000
 """
@@ -33,8 +42,17 @@ import os
 import sys
 from typing import List, Optional
 
+from repro.experiments import analysis as analysis_mod
 from repro.experiments.registry import families
-from repro.experiments.results import bench_path, load_bench
+from repro.experiments.results import (
+    SpecMismatch,
+    error_rows,
+    journal_path,
+    load_journal_payload,
+    load_validated_bench,
+    resolve_bench,
+    validate_rows,
+)
 from repro.experiments.runner import SweepAborted, run_sweep
 from repro.experiments.workloads import WORKLOADS, get_workload
 from repro.groups.engine import cache_entries, prune_cache
@@ -98,9 +116,35 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list declared workloads and instance families")
 
-    report_parser = sub.add_parser("report", help="summarise a produced BENCH_<name>.json")
+    report_parser = sub.add_parser("report", help="print the rows and aggregate of a BENCH_<name>.json")
     report_parser.add_argument("target", help="a workload name (resolved inside --out) or a path to a BENCH file")
     report_parser.add_argument("--out", default=".", help="directory searched for BENCH_<name>.json")
+
+    summarise_parser = sub.add_parser(
+        "summarise",
+        help="statistics post-processing: Wilson intervals, saturation fits, "
+        "crossover location; writes ANALYSIS_<name>.json",
+        aliases=["summarize"],
+    )
+    summarise_parser.add_argument(
+        "target", help="a workload name (resolved inside --out) or a path to a BENCH file"
+    )
+    summarise_parser.add_argument(
+        "--out",
+        default=".",
+        help="directory searched for BENCH_<name>.json and written with ANALYSIS_<name>.json",
+    )
+
+    plot_parser = sub.add_parser(
+        "plot", help="ASCII chart of a sweep's statistics (optionally an SVG)"
+    )
+    plot_parser.add_argument(
+        "target", help="a workload name (resolved inside --out) or a path to a BENCH file"
+    )
+    plot_parser.add_argument("--out", default=".", help="directory searched for BENCH_<name>.json")
+    plot_parser.add_argument(
+        "--svg", default=None, metavar="FILE", help="also write a dependency-free SVG chart"
+    )
 
     cache_parser = sub.add_parser("cache", help="inspect or prune the persistent Cayley-table cache")
     cache_sub = cache_parser.add_subparsers(dest="cache_command", required=True)
@@ -109,9 +153,85 @@ def _build_parser() -> argparse.ArgumentParser:
     prune_parser = cache_sub.add_parser("prune", help="LRU-evict entries until the cache fits a size cap")
     prune_parser.add_argument("cache_dir", help="the CayleyBackend cache directory")
     prune_parser.add_argument(
-        "--max-bytes", type=int, required=True, help="target total cache size in bytes (0 empties it)"
+        "--max-bytes",
+        type=_non_negative_bytes,
+        required=True,
+        help="target total cache size in bytes (0 empties the cache)",
     )
     return parser
+
+
+def _non_negative_bytes(text: str) -> int:
+    """argparse type for ``--max-bytes``: rejects negatives at parse time so
+    ``prune`` can never be reached with an ambiguous cap (0 is valid and
+    means "evict everything")."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer byte count, got {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"--max-bytes must be non-negative, got {value}")
+    return value
+
+
+def _load_target(target: str, out_dir: str):
+    """Resolve and load a BENCH target through the shared validated loader.
+
+    Accepts a workload name, a BENCH file path, or a ``.partial.jsonl``
+    journal path; a name whose BENCH file does not exist yet falls back to
+    its journal, so an interrupted sweep's completed rows are analysable
+    before the sweep finishes.  Returns ``(path, payload)`` or ``None``
+    after printing the failure — missing file, non-sweep payload, or rows
+    disagreeing with the recorded spec header (:class:`SpecMismatch`).
+    """
+    path = resolve_bench(target, out_dir)
+    journal = None
+    if target.endswith(".partial.jsonl") and os.path.exists(target):
+        journal = target
+    elif not os.path.exists(path):
+        candidate = journal_path(out_dir, target)
+        if os.path.exists(candidate):
+            journal = candidate
+    try:
+        if journal is not None:
+            payload = load_journal_payload(journal)
+            validate_rows(payload, path=journal)
+            print(
+                f"note: analysing the in-progress journal {journal} "
+                f"({len(payload['rows'])} completed row(s)); the sweep has not finished",
+                file=sys.stderr,
+            )
+            return journal, payload
+        if not os.path.exists(path):
+            print(
+                f"no BENCH file at {target!r} or {path!r}; run the sweep first",
+                file=sys.stderr,
+            )
+            return None
+        payload = load_validated_bench(path)
+    except (SpecMismatch, ValueError) as error:
+        print(str(error), file=sys.stderr)
+        return None
+    return path, payload
+
+
+def _reject_all_errors(payload, path: str) -> bool:
+    """True (after printing the message) when every row of the file errored.
+
+    An all-error BENCH has no statistics to report — rendering an empty
+    table or dividing by zero would both be wrong; the caller exits
+    non-zero instead.
+    """
+    rows = payload.get("rows", [])
+    errored = error_rows(payload)
+    if rows and len(errored) == len(rows):
+        print(
+            f"{path}: all {len(rows)} run(s) errored (status=\"error\"); nothing to "
+            f"analyse — inspect the 'error' fields and re-run the sweep",
+            file=sys.stderr,
+        )
+        return True
+    return False
 
 
 def _command_run(args) -> int:
@@ -185,20 +305,11 @@ def _command_list() -> int:
 
 
 def _command_report(args) -> int:
-    target = args.target
-    path = target if os.path.exists(target) else bench_path(args.out, target)
-    if not os.path.exists(path):
-        print(f"no BENCH file at {target!r} or {path!r}; run the sweep first", file=sys.stderr)
+    loaded = _load_target(args.target, args.out)
+    if loaded is None:
         return 1
-    payload = load_bench(path)
-    if "sweep" not in payload or "rows" not in payload:
-        # e.g. BENCH_engine.json, written by benchmarks/bench_engine.py with
-        # its own comparison schema rather than the sweep-payload schema.
-        print(
-            f"{path} is not a sweep BENCH file (missing 'sweep'/'rows'); "
-            f"it reports {payload.get('benchmark', 'an unknown benchmark')!r}",
-            file=sys.stderr,
-        )
+    path, payload = loaded
+    if _reject_all_errors(payload, path):
         return 1
     spec = payload["sweep"]
     print(f"sweep {spec['name']!r} (family {spec['family']}, seed {spec['seed']}, workers {payload['workers']})")
@@ -224,6 +335,44 @@ def _command_report(args) -> int:
         f"classical={aggregate['query_totals'].get('classical_queries', 0)}, "
         f"wall={aggregate['wall_time_seconds']:.3f}s"
     )
+    return 0
+
+
+def _command_summarise(args) -> int:
+    loaded = _load_target(args.target, args.out)
+    if loaded is None:
+        return 1
+    path, payload = loaded
+    if _reject_all_errors(payload, path):
+        return 1
+    analysis = analysis_mod.analyse(payload, source=path)
+    name = analysis["sweep"]["name"]
+    out_path = analysis_mod.write_analysis(args.out, name, analysis)
+    print(
+        f"sweep {name!r}: {analysis['runs']} completed run(s), "
+        f"{analysis['errors']} error(s), {len(analysis['cells'])} grid cell(s)"
+    )
+    print(analysis_mod.format_table(analysis))
+    print(analysis_mod.format_summary(analysis))
+    print(f"  wrote {out_path}")
+    return 0
+
+
+def _command_plot(args) -> int:
+    loaded = _load_target(args.target, args.out)
+    if loaded is None:
+        return 1
+    path, payload = loaded
+    if _reject_all_errors(payload, path):
+        return 1
+    analysis = analysis_mod.analyse(payload, source=path)
+    print(f"sweep {analysis['sweep']['name']!r} ({analysis['kind']})")
+    print(analysis_mod.ascii_plot(analysis))
+    print(analysis_mod.format_summary(analysis))
+    if args.svg:
+        with open(args.svg, "w", encoding="utf-8") as handle:
+            handle.write(analysis_mod.render_svg(analysis))
+        print(f"  wrote {args.svg}")
     return 0
 
 
@@ -259,4 +408,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_list()
     if args.command == "cache":
         return _command_cache(args)
+    if args.command in ("summarise", "summarize"):
+        return _command_summarise(args)
+    if args.command == "plot":
+        return _command_plot(args)
     return _command_report(args)

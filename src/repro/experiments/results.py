@@ -38,16 +38,23 @@ from repro.blackbox.oracle import QueryCounter
 
 __all__ = [
     "RunRecord",
+    "SpecMismatch",
     "aggregate_records",
     "append_journal",
+    "atomic_write_json",
     "bench_payload",
     "bench_path",
+    "error_rows",
     "journal_path",
     "load_bench",
     "load_journal",
+    "load_journal_payload",
+    "load_validated_bench",
     "remove_journal",
+    "resolve_bench",
     "rewrite_journal",
     "rows_bytes",
+    "validate_rows",
     "write_bench",
     "write_journal_header",
 ]
@@ -176,15 +183,15 @@ def journal_path(out_dir: str, name: str) -> str:
     return os.path.join(out_dir, f"BENCH_{_safe_name(name)}.partial.jsonl")
 
 
-def write_bench(out_dir: str, name: str, payload: Dict[str, object]) -> str:
-    """Atomically write the payload to ``<out_dir>/BENCH_<name>.json``.
+def atomic_write_json(path: str, payload: Dict[str, object]) -> str:
+    """Atomically write ``payload`` as sorted-key JSON to ``path``.
 
-    The JSON is serialized to a same-directory temporary file and moved into
-    place with :func:`os.replace`, so readers (and ``--resume``) never see a
-    torn file: either the previous content or the complete new one.
+    The one atomic-write protocol of the results layer (BENCH and ANALYSIS
+    files): serialize to a same-directory temporary file and move it into
+    place with :func:`os.replace`, so readers never see a torn file —
+    either the previous content or the complete new one.
     """
-    os.makedirs(out_dir, exist_ok=True)
-    path = bench_path(out_dir, name)
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
     tmp_path = f"{path}.tmp-{os.getpid()}"
     try:
         with open(tmp_path, "w", encoding="utf-8") as handle:
@@ -197,9 +204,142 @@ def write_bench(out_dir: str, name: str, payload: Dict[str, object]) -> str:
     return path
 
 
+def write_bench(out_dir: str, name: str, payload: Dict[str, object]) -> str:
+    """Atomically write the payload to ``<out_dir>/BENCH_<name>.json``."""
+    return atomic_write_json(bench_path(out_dir, name), payload)
+
+
 def load_bench(path: str) -> Dict[str, object]:
     with open(path, "r", encoding="utf-8") as handle:
         return json.load(handle)
+
+
+class SpecMismatch(ValueError):
+    """A BENCH row disagrees with the file's recorded sweep spec header.
+
+    Raised by :func:`validate_rows` when a row's grid keys (or values) are
+    not the ones the ``sweep`` header declares — the signature of a stale
+    BENCH file that was hand-edited or produced by an older spec.  Grouping
+    such rows silently would corrupt every downstream statistic, so both
+    ``report`` and ``summarise`` load through :func:`load_validated_bench`
+    and refuse the file instead.
+    """
+
+
+def resolve_bench(target: str, out_dir: str = ".") -> str:
+    """Resolve a CLI target — a BENCH file path or a workload name — to a path.
+
+    An existing path wins; otherwise the target is treated as a sweep name
+    inside ``out_dir``.  Shared by ``report``, ``summarise`` and ``plot`` so
+    every reader resolves identically.
+    """
+    return target if os.path.exists(target) else bench_path(out_dir, target)
+
+
+def _canonical(value) -> str:
+    """A comparison key that ignores JSON round-trips (tuples vs lists)."""
+    if isinstance(value, tuple):
+        value = list(value)
+    return json.dumps(value, sort_keys=True, default=list)
+
+
+def validate_rows(payload: Dict[str, object], path: str = "<memory>") -> List[Dict[str, object]]:
+    """The rows of a sweep payload, checked against its own spec header.
+
+    Every row's ``params`` must use exactly the grid keys the ``sweep``
+    header declares, with values drawn from the declared grid — a stale
+    file edited by hand or produced by an older spec fails with a
+    :class:`SpecMismatch` naming the offending keys rather than being
+    silently grouped into nonsense cells.
+    """
+    if "sweep" not in payload or "rows" not in payload:
+        raise ValueError(
+            f"{path} is not a sweep BENCH file (missing 'sweep'/'rows'); "
+            f"it reports {payload.get('benchmark', 'an unknown benchmark')!r}"
+        )
+    grid = dict(payload["sweep"].get("grid", {}))
+    expected = set(grid)
+    allowed = {key: {_canonical(v) for v in values} for key, values in grid.items()}
+    for row in payload["rows"]:
+        params = dict(row.get("params", {}))
+        keys = set(params)
+        if keys != expected:
+            missing = sorted(expected - keys)
+            extra = sorted(keys - expected)
+            detail = []
+            if missing:
+                detail.append(f"missing grid keys {missing}")
+            if extra:
+                detail.append(f"unknown grid keys {extra}")
+            raise SpecMismatch(
+                f"{path}: row index {row.get('index')} disagrees with the recorded "
+                f"sweep spec ({'; '.join(detail)}); the file is stale or was edited "
+                f"— re-run the sweep instead of analysing it"
+            )
+        offending = sorted(
+            key for key in expected if _canonical(params[key]) not in allowed[key]
+        )
+        if offending:
+            raise SpecMismatch(
+                f"{path}: row index {row.get('index')} has values outside the recorded "
+                f"grid for keys {offending}; the file is stale or was edited "
+                f"— re-run the sweep instead of analysing it"
+            )
+    return list(payload["rows"])
+
+
+def load_validated_bench(path: str) -> Dict[str, object]:
+    """Load a ``BENCH_<name>.json`` and validate rows against its spec header.
+
+    The one loader behind every reader of sweep BENCH files (``report``,
+    ``summarise``, ``plot``) — raises ``ValueError`` for a non-sweep payload
+    and :class:`SpecMismatch` for rows that disagree with the recorded spec.
+    """
+    payload = load_bench(path)
+    validate_rows(payload, path=path)
+    return payload
+
+
+def error_rows(payload: Dict[str, object]) -> List[Dict[str, object]]:
+    """The ``status="error"`` rows of a sweep payload."""
+    return [row for row in payload.get("rows", []) if row.get("status") == "error"]
+
+
+def load_journal_payload(path: str) -> Dict[str, object]:
+    """A sweep payload reconstructed from a ``.partial.jsonl`` journal.
+
+    Lets ``summarise``/``plot`` analyse an *interrupted* sweep's completed
+    rows before the final BENCH file exists.  The journal header supplies
+    the spec, the journaled records become the rows (sorted by index; a
+    torn trailing line is dropped as in :func:`load_journal`), and
+    ``"partial": True`` marks the payload so readers can flag it.  Raises
+    ``ValueError`` for a missing/foreign header.
+    """
+    lines = _journal_lines(path)
+    header = next(lines, None)
+    if header is None or "sweep" not in header:
+        raise ValueError(f"{path} has no journal header; not a sweep journal")
+    if header.get("journal_version") != JOURNAL_VERSION:
+        raise ValueError(
+            f"journal {path!r} has version {header.get('journal_version')!r}, "
+            f"expected {JOURNAL_VERSION}"
+        )
+    records: Dict[Tuple[int, int], RunRecord] = {}
+    for entry in lines:
+        record = RunRecord.from_json_dict(entry)
+        records[(record.index, record.seed)] = record
+    ordered = sorted(records.values(), key=lambda record: record.index)
+    return {
+        "sweep": header["sweep"],
+        "workers": 0,
+        "partial": True,
+        "rows": [record.row() for record in ordered],
+        "timings": [
+            {"index": record.index, "wall_time_seconds": record.wall_time_seconds}
+            for record in ordered
+        ],
+        "aggregate": aggregate_records(ordered),
+    }
 
 
 def rows_bytes(payload: Dict[str, object]) -> bytes:

@@ -10,11 +10,22 @@ sweep reproducibly from the command line.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.experiments.specs import SamplerSpec, SweepSpec
+from repro.experiments.specs import RESERVED_GRID_KEYS, SamplerSpec, SweepSpec
 
-__all__ = ["WORKLOADS", "ENGINE_COMPARISONS", "declare", "get_workload"]
+__all__ = [
+    "WORKLOADS",
+    "ANALYSES",
+    "ENGINE_COMPARISONS",
+    "AnalysisDirective",
+    "axis_roles",
+    "declare",
+    "declare_analysis",
+    "get_analysis",
+    "get_workload",
+]
 
 WORKLOADS: Dict[str, SweepSpec] = {}
 
@@ -32,6 +43,58 @@ def get_workload(name: str) -> SweepSpec:
     except KeyError:
         known = ", ".join(sorted(WORKLOADS))
         raise KeyError(f"unknown workload {name!r}; declared workloads: {known}") from None
+
+
+def axis_roles(grid_keys: Sequence[str]) -> Dict[str, List[str]]:
+    """Split grid axes into *statistical* and *structural* roles.
+
+    A statistical axis (the reserved solver keys: ``strategy``,
+    ``confidence``) varies how an instance is *solved* — it changes the
+    success statistics of runs over the same groups.  A structural axis
+    (``n``, ``p``, ``moduli``, ...) changes the *instance itself*.  The
+    analysis subsystem groups success-rate cells by the full grid point but
+    fits curves along one axis per structural slice, so it needs to know
+    which is which.
+    """
+    statistical = sorted(key for key in grid_keys if key in RESERVED_GRID_KEYS)
+    structural = sorted(key for key in grid_keys if key not in RESERVED_GRID_KEYS)
+    return {"statistical": statistical, "structural": structural}
+
+
+@dataclass(frozen=True)
+class AnalysisDirective:
+    """How ``summarise``/``plot`` should post-process one workload's rows.
+
+    ``kind`` selects the model: ``"saturation"`` fits success probability
+    along ``x_axis`` to ``1-(1-p)^r`` per structural slice; ``"crossover"``
+    interpolates where the mean query cost (the summed ``cost_keys``) of the
+    two ``series_axis`` values intersects along ``x_axis``; ``"table"``
+    computes the cell table (rates + Wilson intervals) only.
+    """
+
+    workload: str
+    kind: str
+    x_axis: str
+    series_axis: Optional[str] = None
+    cost_keys: Tuple[str, ...] = ("quantum_queries", "classical_queries")
+
+
+ANALYSES: Dict[str, AnalysisDirective] = {}
+
+
+def declare_analysis(directive: AnalysisDirective) -> AnalysisDirective:
+    if directive.workload in ANALYSES:
+        raise ValueError(f"duplicate analysis directive for {directive.workload!r}")
+    if directive.kind not in ("saturation", "crossover", "table"):
+        raise ValueError(f"unknown analysis kind {directive.kind!r}")
+    ANALYSES[directive.workload] = directive
+    return directive
+
+
+def get_analysis(name: str) -> Optional[AnalysisDirective]:
+    """The declared directive of a workload, or ``None`` (caller falls back
+    to a structure-derived default, see ``analysis.directive_for``)."""
+    return ANALYSES.get(name)
 
 
 # -- CI smoke sweep -----------------------------------------------------------
@@ -92,6 +155,17 @@ declare(
         description="query-count crossover of the quantum Theorem 8 path vs "
         "the exhaustive classical baseline as |G| grows",
     )
+)
+
+# How the statistics workloads are post-processed (`summarise`/`plot`): the
+# success-vs-rounds sweeps fit the saturation model along the confidence
+# axis per group size; strategy-crossover interpolates the query-cost
+# intersection of the two strategies along the group-size axis.
+
+declare_analysis(AnalysisDirective("success-vs-rounds", "saturation", x_axis="confidence"))
+declare_analysis(AnalysisDirective("success-vs-rounds-abelian", "saturation", x_axis="confidence"))
+declare_analysis(
+    AnalysisDirective("strategy-crossover", "crossover", x_axis="n", series_axis="strategy")
 )
 
 # -- E4: hidden normal subgroups (Theorem 8) ---------------------------------
