@@ -24,7 +24,16 @@ persistent experiment layer:
 ``results``
     per-run JSON rows and aggregate statistics, persisted atomically as
     ``BENCH_<name>.json``, plus the ``BENCH_<name>.partial.jsonl``
-    checkpoint journal behind ``--resume``;
+    checkpoint journal behind ``--resume``, multi-shard journal merging
+    (dedup by ``(index, seed)``, ok preferred over error) and the
+    BENCH-vs-journal agreement check;
+``distributed``
+    the queue-backed distributed runner: ``enqueue`` materialises pending
+    runs as claimable task files in a shared ``QUEUE_<name>/`` directory,
+    any number of ``work`` processes (across machines sharing the
+    directory) claim them via atomic-rename leases with mtime-heartbeat
+    stale reclamation and journal to per-worker shards, and ``collect``
+    merges the shards into a BENCH byte-identical to a single-process run;
 ``workloads``
     the declared sweeps (including the migrated ``benchmarks/bench_*``
     workloads) and the per-workload analysis directives (which grid axes
@@ -51,20 +60,37 @@ from repro.experiments.analysis import (
     wilson_interval,
     write_analysis,
 )
+from repro.experiments.distributed import (
+    QueueCorrupt,
+    QueueIncomplete,
+    collect_queue,
+    enqueue_sweep,
+    queue_dir,
+    work_queue,
+)
 from repro.experiments.registry import build_instance, families
 from repro.experiments.results import (
+    LedgerDivergence,
     RunRecord,
     SpecMismatch,
     aggregate_records,
     bench_payload,
+    check_journal_agreement,
     journal_path,
     load_bench,
     load_journal,
     load_validated_bench,
+    merge_journal_records,
     resolve_bench,
     write_bench,
 )
-from repro.experiments.runner import SweepAborted, execute_run, execute_run_safe, run_sweep
+from repro.experiments.runner import (
+    SweepAborted,
+    execute_batch,
+    execute_run,
+    execute_run_safe,
+    run_sweep,
+)
 from repro.experiments.specs import DEFAULT_SEED, RunSpec, SamplerSpec, SweepSpec
 from repro.experiments.workloads import (
     ANALYSES,
@@ -79,6 +105,9 @@ __all__ = [
     "ANALYSES",
     "DEFAULT_SEED",
     "AnalysisDirective",
+    "LedgerDivergence",
+    "QueueCorrupt",
+    "QueueIncomplete",
     "RunSpec",
     "SamplerSpec",
     "SpecMismatch",
@@ -92,6 +121,10 @@ __all__ = [
     "axis_roles",
     "bench_payload",
     "build_instance",
+    "check_journal_agreement",
+    "collect_queue",
+    "enqueue_sweep",
+    "execute_batch",
     "execute_run",
     "execute_run_safe",
     "families",
@@ -103,9 +136,12 @@ __all__ = [
     "load_journal",
     "load_validated_bench",
     "locate_crossover",
+    "merge_journal_records",
+    "queue_dir",
     "resolve_bench",
     "run_sweep",
     "wilson_interval",
+    "work_queue",
     "write_analysis",
     "write_bench",
 ]

@@ -78,6 +78,21 @@ def _cell_key(params: Dict[str, object]) -> str:
     return json.dumps(params, sort_keys=True, default=list)
 
 
+def _ordered_rows(payload: Dict[str, object]) -> List[Dict[str, object]]:
+    """The payload rows in canonical ``(index, seed)`` order.
+
+    Every row consumer sorts first, so the analysis is a pure function of
+    the row *set* — invariant under any permutation of the rows on disk
+    (shard merges and journal replays must not change a single statistic).
+    BENCH files already store index-sorted rows, so the committed goldens
+    are unaffected.
+    """
+    return sorted(
+        payload.get("rows", []),
+        key=lambda row: (int(row.get("index", 0)), int(row.get("seed", 0))),
+    )
+
+
 # ---------------------------------------------------------------------------
 # Wilson score intervals and the cell table
 # ---------------------------------------------------------------------------
@@ -113,12 +128,13 @@ def group_cells(payload: Dict[str, object], z: float = DEFAULT_Z) -> List[Dict[s
     one grid point aggregate into one cell.  Only ``status="ok"`` rows
     enter the success statistics; errored rows are tallied per cell in
     ``errors``.  A cell whose runs all errored reports ``success_rate:
-    None`` with no interval.  Cells appear in first-row order (the
-    deterministic grid expansion order of the file).
+    None`` with no interval.  Cells appear in first-row order after the
+    canonical ``(index, seed)`` sort — the deterministic grid expansion
+    order, whatever order the rows were stored in.
     """
     cells: Dict[str, Dict[str, object]] = {}
     order: List[str] = []
-    for row in payload["rows"]:
+    for row in _ordered_rows(payload):
         params = dict(row.get("params", {}))
         key = _cell_key(params)
         if key not in cells:
@@ -404,7 +420,7 @@ def _cost_series(
     error of the per-run cost over a cell's repeats (0 for a single run)."""
     samples: Dict[str, Dict[str, Dict[float, List[float]]]] = {}
     slice_groups: Dict[str, Dict[str, object]] = {}
-    for row in payload["rows"]:
+    for row in _ordered_rows(payload):
         if row.get("status") == "error":
             continue
         params = dict(row.get("params", {}))

@@ -1,6 +1,6 @@
 """The ``python -m repro.experiments`` command line.
 
-Six subcommands make sweeps reproducible (and analysable) from a shell:
+Nine subcommands make sweeps reproducible (and analysable) from a shell:
 
 ``list``
     the declared workloads and registered instance families;
@@ -9,6 +9,17 @@ Six subcommands make sweeps reproducible (and analysable) from a shell:
     write ``BENCH_<name>.json``.  ``--max-failures`` bounds how many runs
     may error before the sweep aborts, and ``--resume`` continues an
     interrupted sweep from its ``BENCH_<name>.partial.jsonl`` journal;
+``enqueue NAME``
+    materialise a sweep's pending runs into a ``QUEUE_<name>/`` directory
+    of claimable task files (the distributed-queue front half);
+``work QUEUE_DIR``
+    claim and execute queue tasks until the queue drains — any number of
+    ``work`` processes, on any machine sharing the directory, cooperate
+    via atomic-rename leases with mtime-heartbeat stale reclamation;
+``collect QUEUE_DIR``
+    merge the per-worker journal shards of a drained queue into a
+    ``BENCH_<name>.json`` whose deterministic rows are byte-identical to a
+    single-process ``run``;
 ``report NAME-or-PATH``
     print the per-run rows and the aggregate of a produced BENCH file;
 ``summarise NAME-or-PATH``
@@ -28,6 +39,10 @@ Examples::
     python -m repro.experiments list
     python -m repro.experiments run smoke --workers 2 --out .benchmarks
     python -m repro.experiments run smoke --resume --out .benchmarks
+    python -m repro.experiments enqueue queue-smoke --out .benchmarks
+    python -m repro.experiments work .benchmarks/QUEUE_queue-smoke &
+    python -m repro.experiments work .benchmarks/QUEUE_queue-smoke
+    python -m repro.experiments collect .benchmarks/QUEUE_queue-smoke --out .benchmarks
     python -m repro.experiments report smoke --out .benchmarks
     python -m repro.experiments summarise success-vs-rounds
     python -m repro.experiments plot strategy-crossover --svg crossover.svg
@@ -43,9 +58,12 @@ import sys
 from typing import List, Optional
 
 from repro.experiments import analysis as analysis_mod
+from repro.experiments import distributed
 from repro.experiments.registry import families
 from repro.experiments.results import (
+    LedgerDivergence,
     SpecMismatch,
+    check_journal_agreement,
     error_rows,
     journal_path,
     load_journal_payload,
@@ -114,6 +132,56 @@ def _build_parser() -> argparse.ArgumentParser:
         "(default: capture all errors as rows and finish)",
     )
 
+    enqueue_parser = sub.add_parser(
+        "enqueue", help="materialise a sweep's pending runs as a QUEUE_<name>/ of claimable tasks"
+    )
+    enqueue_parser.add_argument("name", help="a workload name from `list`")
+    enqueue_parser.add_argument(
+        "--out", default=".", help="directory the QUEUE_<name> directory is created in"
+    )
+    enqueue_parser.add_argument(
+        "--queue", default=None, metavar="DIR", help="explicit queue directory (overrides --out)"
+    )
+    enqueue_parser.add_argument("--seed", type=int, default=None, help="override the sweep master seed")
+    enqueue_parser.add_argument(
+        "--repeats", type=int, default=None, help="override the repeats per grid point"
+    )
+
+    work_parser = sub.add_parser(
+        "work", help="claim and execute queue tasks until the queue drains"
+    )
+    work_parser.add_argument("queue", help="the QUEUE_<name> directory (shared across workers)")
+    work_parser.add_argument(
+        "--worker-id", default=None, help="stable worker id (default: host-pid-random)"
+    )
+    work_parser.add_argument(
+        "--stale-after",
+        type=float,
+        default=300.0,
+        help="seconds without a heartbeat before a lease is reclaimed (default 300)",
+    )
+    work_parser.add_argument(
+        "--poll",
+        type=float,
+        default=1.0,
+        help="seconds between checks while waiting on other workers' leases (default 1)",
+    )
+    work_parser.add_argument(
+        "--heartbeat",
+        type=float,
+        default=None,
+        help="seconds between lease mtime touches (default: stale-after / 4)",
+    )
+    work_parser.add_argument(
+        "--max-tasks", type=int, default=None, help="stop after executing this many tasks"
+    )
+
+    collect_parser = sub.add_parser(
+        "collect", help="merge a drained queue's journal shards into BENCH_<name>.json"
+    )
+    collect_parser.add_argument("queue", help="the QUEUE_<name> directory")
+    collect_parser.add_argument("--out", default=".", help="output directory for the BENCH file")
+
     sub.add_parser("list", help="list declared workloads and instance families")
 
     report_parser = sub.add_parser("report", help="print the rows and aggregate of a BENCH_<name>.json")
@@ -180,9 +248,13 @@ def _load_target(target: str, out_dir: str):
     Accepts a workload name, a BENCH file path, or a ``.partial.jsonl``
     journal path; a name whose BENCH file does not exist yet falls back to
     its journal, so an interrupted sweep's completed rows are analysable
-    before the sweep finishes.  Returns ``(path, payload)`` or ``None``
-    after printing the failure — missing file, non-sweep payload, or rows
-    disagreeing with the recorded spec header (:class:`SpecMismatch`).
+    before the sweep finishes.  When the BENCH file *and* its journal both
+    survive, the two ledgers must agree — rows disagreeing on the same
+    ``(index, seed)`` key fail loudly (:class:`LedgerDivergence`) instead
+    of one source being silently preferred.  Returns ``(path, payload)`` or
+    ``None`` after printing the failure — missing file, non-sweep payload,
+    rows disagreeing with the recorded spec header (:class:`SpecMismatch`),
+    or a diverging journal.
     """
     path = resolve_bench(target, out_dir)
     journal = None
@@ -209,7 +281,10 @@ def _load_target(target: str, out_dir: str):
             )
             return None
         payload = load_validated_bench(path)
-    except (SpecMismatch, ValueError) as error:
+        sibling = f"{path[:-len('.json')]}.partial.jsonl" if path.endswith(".json") else None
+        if sibling and os.path.exists(sibling):
+            check_journal_agreement(payload, sibling, path=path)
+    except (LedgerDivergence, SpecMismatch, ValueError) as error:
         print(str(error), file=sys.stderr)
         return None
     return path, payload
@@ -253,8 +328,18 @@ def _command_run(args) -> int:
         # --resume).  ValueError: a journal/spec mismatch on --resume.
         print(str(error), file=sys.stderr)
         return 1
+    return _print_sweep_summary(spec.name, path, payload)
+
+
+def _print_sweep_summary(name: str, path: str, payload) -> int:
+    """The shared completion summary (and exit code) of ``run``/``collect``.
+
+    Non-zero when the sweep produced no runs, any run errored, or any run
+    recovered a wrong subgroup — the same acceptance bar however the rows
+    were executed.
+    """
     aggregate = payload["aggregate"]
-    print(f"sweep {spec.name!r}: {aggregate['runs']} runs on {payload['workers']} worker(s)")
+    print(f"sweep {name!r}: {aggregate['runs']} runs on {payload['workers']} worker(s)")
     rate = aggregate["success_rate"]
     rate_text = "n/a (no runs)" if rate is None else f"{rate:.3f}"
     print(
@@ -281,6 +366,58 @@ def _command_run(args) -> int:
         )
         return 1
     return 0
+
+
+def _command_enqueue(args) -> int:
+    try:
+        spec = get_workload(args.name).with_overrides(seed=args.seed, repeats=args.repeats)
+    except (KeyError, ValueError) as error:
+        print(str(error), file=sys.stderr)
+        return 1
+    queue = args.queue or distributed.queue_dir(args.out, spec.name)
+    try:
+        counts = distributed.enqueue_sweep(spec, queue)
+    except (distributed.QueueCorrupt, ValueError) as error:
+        print(str(error), file=sys.stderr)
+        return 1
+    done_note = (
+        f" ({counts['already_done']} run(s) already ok in the shards)"
+        if counts["already_done"]
+        else ""
+    )
+    print(f"enqueued {counts['enqueued']} task(s) into {queue}{done_note}")
+    print(f"  start workers with: python -m repro.experiments work {queue}")
+    return 0
+
+
+def _command_work(args) -> int:
+    try:
+        stats = distributed.work_queue(
+            args.queue,
+            worker_id=args.worker_id,
+            stale_after=args.stale_after,
+            poll=args.poll,
+            heartbeat=args.heartbeat,
+            max_tasks=args.max_tasks,
+        )
+    except (distributed.QueueCorrupt, ValueError) as error:
+        print(str(error), file=sys.stderr)
+        return 1
+    print(
+        f"worker drained {args.queue}: executed {stats['executed']} task(s), "
+        f"{stats['errors']} error(s), reclaimed {stats['reclaimed']} stale lease(s)"
+    )
+    return 0
+
+
+def _command_collect(args) -> int:
+    try:
+        path, payload = distributed.collect_queue(args.queue, args.out)
+    except (distributed.QueueCorrupt, distributed.QueueIncomplete, ValueError) as error:
+        print(str(error), file=sys.stderr)
+        return 1
+    name = payload["sweep"]["name"]
+    return _print_sweep_summary(name, path, payload)
 
 
 def _command_list() -> int:
@@ -404,6 +541,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "run":
         return _command_run(args)
+    if args.command == "enqueue":
+        return _command_enqueue(args)
+    if args.command == "work":
+        return _command_work(args)
+    if args.command == "collect":
+        return _command_collect(args)
     if args.command == "list":
         return _command_list()
     if args.command == "cache":

@@ -1,0 +1,452 @@
+"""The queue-backed distributed runner (``enqueue`` / ``work`` / ``collect``).
+
+The PR 3 journal made run state externally visible; this module makes it the
+*shared ledger* of a filesystem queue, so any number of worker processes —
+on one machine or on many machines sharing a directory — can execute one
+sweep cooperatively and the merged result is testable to byte-identity
+against a single-process ``run``.
+
+Queue layout (``QUEUE_<name>/`` next to the BENCH files by default)::
+
+    QUEUE_<name>/
+        spec.json                    the queue header: pinned SweepSpec
+        tasks/task-<index>.json      claimable work: one serialized RunSpec
+        leases/task-<index>.json@<worker>
+                                     claimed work; mtime is the heartbeat
+        shards/shard-<worker>.jsonl  per-worker journal (PR 3 line format)
+
+The coordination protocol uses nothing but atomic ``os.rename`` and mtimes:
+
+* **claim** — a worker renames ``tasks/task-i.json`` into ``leases/`` with
+  its worker id appended.  Rename of an existing source is atomic; exactly
+  one contender wins, the losers get ``FileNotFoundError`` and move on.
+* **heartbeat** — while executing, a daemon thread touches the lease file
+  every few seconds.  No wall-clock value ever enters the results; time is
+  only compared *observer-now vs lease-mtime* to judge staleness.
+* **reclaim** — a lease whose mtime is older than ``stale_after`` belongs
+  to a dead worker; any worker renames it back into ``tasks/``, making the
+  run claimable again.  If the dead worker had already journaled the record
+  (died between append and lease removal), the re-execution produces a
+  duplicate — harmless, because records are deterministic and ``collect``
+  deduplicates by ``(index, seed)``, preferring ok over error.
+* **complete** — the worker appends the record to *its own* shard (no two
+  processes ever append to the same file) and removes its lease.
+
+``collect`` merges every shard through the validated journal readers
+(:func:`~repro.experiments.results.load_journal` per shard, then
+:func:`~repro.experiments.results.merge_journal_records`), refuses an
+incomplete queue loudly, and writes ``BENCH_<name>.json`` whose
+deterministic rows are byte-identical to a single-process ``run`` of the
+same spec (the ``rows_bytes`` canonical serialization; wall-times are
+machine-dependent by design and live outside the rows).
+
+NFS caveat: the protocol relies on ``rename`` atomicity (guaranteed by NFS
+within one directory) and on mtime comparisons between the *server's*
+timestamp and the *observer's* clock — pick ``stale_after`` generously
+(minutes, and always several multiples of the heartbeat interval) when
+clocks may skew.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import socket
+import threading
+import time
+import uuid
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.results import (
+    RunRecord,
+    append_journal,
+    atomic_write_json,
+    bench_payload,
+    load_journal,
+    merge_journal_records,
+    rewrite_journal,
+    write_bench,
+    write_journal_header,
+    _safe_name,
+)
+from repro.experiments.runner import execute_run_safe
+from repro.experiments.specs import RunSpec, SweepSpec
+
+__all__ = [
+    "QueueCorrupt",
+    "QueueIncomplete",
+    "claim_next",
+    "collect_queue",
+    "default_worker_id",
+    "enqueue_sweep",
+    "load_queue_spec",
+    "queue_dir",
+    "queue_status",
+    "reclaim_stale",
+    "shard_path",
+    "work_queue",
+]
+
+#: Queue layout version; bumped if the directory protocol ever changes so a
+#: worker from an older build refuses the queue rather than misreading it.
+QUEUE_VERSION = 1
+
+#: The lease filename separator between task name and worker id.  Worker ids
+#: are sanitised to never contain it, so parsing is unambiguous.
+_LEASE_SEP = "@"
+
+_WORKER_ID_BAD = re.compile(r"[^A-Za-z0-9_.-]")
+
+
+class QueueIncomplete(RuntimeError):
+    """``collect`` was asked to merge a queue that still has unfinished work."""
+
+    def __init__(self, queue: str, missing: List[Tuple[int, int]], tasks: int, leases: int):
+        self.queue = queue
+        self.missing = missing
+        shown = ", ".join(str(key) for key in missing[:5])
+        suffix = ", ..." if len(missing) > 5 else ""
+        super().__init__(
+            f"queue {queue!r} is incomplete: {len(missing)} run(s) have no journaled "
+            f"record ((index, seed) pairs {shown}{suffix}); {tasks} unclaimed task(s) "
+            f"and {leases} outstanding lease(s) remain — run more workers (or wait "
+            f"for stale leases to be reclaimed) before collecting"
+        )
+
+
+class QueueCorrupt(RuntimeError):
+    """A queue file (header or claimed task) could not be parsed.
+
+    A torn task file means ``enqueue`` was interrupted mid-write on a
+    filesystem without atomic rename semantics, or the file was edited;
+    either way the unit of work is unknowable and the queue must be
+    re-enqueued rather than guessed at.
+    """
+
+
+def queue_dir(out_dir: str, name: str) -> str:
+    """The queue directory of a sweep: ``<out_dir>/QUEUE_<name>``."""
+    return os.path.join(out_dir, f"QUEUE_{_safe_name(name)}")
+
+
+def _tasks_dir(queue: str) -> str:
+    return os.path.join(queue, "tasks")
+
+
+def _leases_dir(queue: str) -> str:
+    return os.path.join(queue, "leases")
+
+
+def _shards_dir(queue: str) -> str:
+    return os.path.join(queue, "shards")
+
+
+def shard_path(queue: str, worker_id: str) -> str:
+    """The journal shard a worker appends its completed records to."""
+    return os.path.join(_shards_dir(queue), f"shard-{worker_id}.jsonl")
+
+
+def default_worker_id() -> str:
+    """A filesystem-safe worker id unique across hosts and processes."""
+    host = _WORKER_ID_BAD.sub("-", socket.gethostname()) or "host"
+    return f"{host}-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+
+
+def _sanitize_worker_id(worker_id: str) -> str:
+    cleaned = _WORKER_ID_BAD.sub("-", worker_id)
+    if not cleaned:
+        raise ValueError(f"worker id {worker_id!r} has no filesystem-safe characters")
+    return cleaned
+
+
+def _spec_path(queue: str) -> str:
+    return os.path.join(queue, "spec.json")
+
+
+def load_queue_spec(queue: str) -> SweepSpec:
+    """The pinned sweep spec of a queue directory (validated header)."""
+    path = _spec_path(queue)
+    if not os.path.exists(path):
+        raise QueueCorrupt(f"{queue!r} has no spec.json header; not a sweep queue")
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            header = json.load(handle)
+    except (json.JSONDecodeError, OSError) as error:
+        raise QueueCorrupt(f"queue header {path!r} is unreadable: {error}") from None
+    if header.get("queue_version") != QUEUE_VERSION:
+        raise QueueCorrupt(
+            f"queue {queue!r} has layout version {header.get('queue_version')!r}, "
+            f"expected {QUEUE_VERSION}; re-enqueue with this build"
+        )
+    try:
+        return SweepSpec.from_json_dict(header["sweep"])
+    except (KeyError, TypeError, ValueError) as error:
+        raise QueueCorrupt(f"queue header {path!r} does not pin a sweep spec: {error}") from None
+
+
+def _task_name(run: RunSpec) -> str:
+    return f"task-{run.index:06d}.json"
+
+
+def enqueue_sweep(spec: SweepSpec, queue: str) -> Dict[str, int]:
+    """Materialise the sweep's pending runs as claimable task files.
+
+    A fresh directory gets the full expansion.  Re-enqueueing an existing
+    *drained* queue (no tasks, no leases — e.g. after a `collect` refused
+    errored rows) materialises only the runs without an ok record in the
+    shards: errored and never-executed runs become claimable again, exactly
+    like ``run --resume`` retries journaled errors.  A queue with tasks or
+    leases still outstanding is refused — two enqueues racing each other
+    would double-issue work.
+    """
+    spec_file = _spec_path(queue)
+    done: Dict[Tuple[int, int], RunRecord] = {}
+    if os.path.exists(spec_file):
+        existing = load_queue_spec(queue)
+        if existing != spec:
+            raise ValueError(
+                f"queue {queue!r} already pins a different sweep configuration "
+                f"(name/seed/grid/sampler mismatch); use a fresh queue directory"
+            )
+        status = queue_status(queue)
+        if status["tasks"] or status["leases"]:
+            raise ValueError(
+                f"queue {queue!r} still has {status['tasks']} task(s) and "
+                f"{status['leases']} lease(s) outstanding; drain it (or delete the "
+                f"directory) before enqueueing again"
+            )
+        done = {
+            key: record
+            for key, record in merge_journal_records(_shard_files(queue), spec).items()
+            if record.status != "error"
+        }
+    for sub in (_tasks_dir(queue), _leases_dir(queue), _shards_dir(queue)):
+        os.makedirs(sub, exist_ok=True)
+    if not os.path.exists(spec_file):
+        header = {"queue_version": QUEUE_VERSION, "sweep": spec.to_json_dict()}
+        atomic_write_json(spec_file, header)
+    pending = [run for run in spec.expand() if (run.index, run.seed) not in done]
+    for run in pending:
+        # Tasks materialise atomically (the shared tmp + os.replace
+        # protocol) so a worker can never claim a half-written file — the
+        # "torn claim" failure mode exists only on filesystems without
+        # rename semantics, and there it is caught by QueueCorrupt at parse
+        # time rather than silently executed.
+        atomic_write_json(os.path.join(_tasks_dir(queue), _task_name(run)), run.to_json_dict())
+    return {"enqueued": len(pending), "already_done": len(done)}
+
+
+def _shard_files(queue: str) -> List[str]:
+    shards = _shards_dir(queue)
+    if not os.path.isdir(shards):
+        return []
+    return sorted(
+        os.path.join(shards, name)
+        for name in os.listdir(shards)
+        if name.startswith("shard-") and name.endswith(".jsonl")
+    )
+
+
+def queue_status(queue: str) -> Dict[str, int]:
+    """Unclaimed task, outstanding lease and shard counts of a queue."""
+    def _count(path: str, predicate) -> int:
+        if not os.path.isdir(path):
+            return 0
+        return sum(1 for name in os.listdir(path) if predicate(name))
+
+    return {
+        "tasks": _count(_tasks_dir(queue), lambda name: name.endswith(".json")),
+        "leases": _count(_leases_dir(queue), lambda name: _LEASE_SEP in name),
+        "shards": len(_shard_files(queue)),
+    }
+
+
+def _parse_task(path: str) -> RunSpec:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return RunSpec.from_json_dict(json.load(handle))
+    except (json.JSONDecodeError, KeyError, TypeError, ValueError, OSError) as error:
+        raise QueueCorrupt(
+            f"task file {path!r} is corrupt ({error}); re-enqueue the sweep"
+        ) from None
+
+
+def claim_next(queue: str, worker_id: str) -> Optional[Tuple[str, RunSpec]]:
+    """Atomically claim the lowest-numbered unclaimed task, if any.
+
+    Returns ``(lease_path, run)`` or ``None`` when no task could be
+    claimed.  The claim is the ``os.rename`` into ``leases/`` — atomic on
+    the source, so under contention exactly one worker wins each task and
+    the losers simply try the next file.
+    """
+    tasks = _tasks_dir(queue)
+    try:
+        names = sorted(name for name in os.listdir(tasks) if name.endswith(".json"))
+    except FileNotFoundError:
+        return None
+    for name in names:
+        lease = os.path.join(_leases_dir(queue), f"{name}{_LEASE_SEP}{worker_id}")
+        try:
+            os.rename(os.path.join(tasks, name), lease)
+        except FileNotFoundError:
+            continue  # another worker won this task; try the next one
+        # The rename preserves the *task's* enqueue-time mtime; the lease
+        # clock starts at the claim, so touch it now — otherwise any task
+        # claimed later than stale_after past enqueue would be born stale
+        # and reclaimed out from under its live holder.
+        os.utime(lease)
+        return lease, _parse_task(lease)
+    return None
+
+
+def reclaim_stale(queue: str, stale_after: float) -> int:
+    """Move leases older than ``stale_after`` seconds back into ``tasks/``.
+
+    Staleness is judged by the lease file's mtime — refreshed by the
+    holder's heartbeat thread while it is alive, frozen the moment it dies.
+    Contending reclaimers race on the same atomic rename, so each stale
+    lease is reclaimed exactly once.  Returns the number reclaimed.
+    """
+    leases = _leases_dir(queue)
+    try:
+        names = list(os.listdir(leases))
+    except FileNotFoundError:
+        return 0
+    reclaimed = 0
+    now = time.time()
+    for name in names:
+        if _LEASE_SEP not in name:
+            continue
+        path = os.path.join(leases, name)
+        try:
+            mtime = os.stat(path).st_mtime
+        except FileNotFoundError:
+            continue  # completed or reclaimed while we were scanning
+        if now - mtime <= stale_after:
+            continue
+        task_name = name.split(_LEASE_SEP, 1)[0]
+        try:
+            os.rename(path, os.path.join(_tasks_dir(queue), task_name))
+        except FileNotFoundError:
+            continue
+        reclaimed += 1
+    return reclaimed
+
+
+class _Heartbeat:
+    """A daemon thread touching the lease file while its task executes."""
+
+    def __init__(self, path: str, interval: float):
+        self._path = path
+        self._interval = max(float(interval), 0.01)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._beat, daemon=True)
+
+    def __enter__(self) -> "_Heartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._stop.set()
+        self._thread.join()
+
+    def _beat(self) -> None:
+        while not self._stop.wait(self._interval):
+            try:
+                os.utime(self._path)
+            except OSError:
+                return  # lease reclaimed from under us; dedup handles the rest
+
+
+def work_queue(
+    queue: str,
+    worker_id: Optional[str] = None,
+    stale_after: float = 300.0,
+    poll: float = 1.0,
+    heartbeat: Optional[float] = None,
+    max_tasks: Optional[int] = None,
+) -> Dict[str, int]:
+    """Claim and execute tasks until the queue drains (or ``max_tasks``).
+
+    The worker loop: claim a task, execute it through the shared
+    :func:`~repro.experiments.runner.execute_run_safe` core (errors become
+    ``status="error"`` records, exactly as in ``run``), append the record
+    to this worker's own journal shard, release the lease.  When nothing is
+    claimable the worker reclaims stale leases; while *live* leases are
+    outstanding it polls — the holder may die and its lease go stale — and
+    exits only once the queue has neither tasks nor leases.
+
+    Returns ``{"executed": ..., "errors": ..., "reclaimed": ...}``.
+    """
+    spec = load_queue_spec(queue)
+    worker = _sanitize_worker_id(worker_id) if worker_id else default_worker_id()
+    shard = shard_path(queue, worker)
+    if os.path.exists(shard):
+        # An existing shard must pin the same spec (load_journal refuses a
+        # foreign header).  Compact it before appending: a crash may have
+        # left the file headerless (died inside the header write) or with a
+        # torn trailing fragment — appending after either would make every
+        # later record unreadable at collect time.
+        rewrite_journal(shard, spec, list(load_journal(shard, spec).values()))
+    else:
+        write_journal_header(shard, spec)
+    interval = heartbeat if heartbeat is not None else max(stale_after / 4.0, 0.05)
+    executed = errors = reclaimed = 0
+    while max_tasks is None or executed < max_tasks:
+        claim = claim_next(queue, worker)
+        if claim is None:
+            got_back = reclaim_stale(queue, stale_after)
+            if got_back:
+                reclaimed += got_back
+                continue
+            if queue_status(queue)["leases"]:
+                time.sleep(poll)
+                continue
+            break  # no tasks, no leases: the queue is drained
+        lease, run = claim
+        with _Heartbeat(lease, interval):
+            record = execute_run_safe(run)
+        append_journal(shard, record)
+        try:
+            os.remove(lease)
+        except FileNotFoundError:
+            pass  # reclaimed from under us; collect dedups the re-execution
+        executed += 1
+        if record.status == "error":
+            errors += 1
+    return {"executed": executed, "errors": errors, "reclaimed": reclaimed}
+
+
+def collect_queue(queue: str, out_dir: str = ".") -> Tuple[str, Dict[str, object]]:
+    """Merge the shards of a drained queue into ``BENCH_<name>.json``.
+
+    Every shard is validated against the queue's pinned spec and merged by
+    ``(index, seed)`` (ok preferred over error, see
+    :func:`~repro.experiments.results.merge_journal_records`).  The merge
+    must cover the full expansion — an unclaimed task, an outstanding lease
+    or a shard torn short of a record makes the queue *incomplete* and the
+    collect refuses loudly (:class:`QueueIncomplete`) instead of writing a
+    silently partial BENCH.  The resulting deterministic rows are
+    byte-identical to a single-process ``run`` of the same spec.
+    """
+    spec = load_queue_spec(queue)
+    merged = merge_journal_records(_shard_files(queue), spec)
+    expected = {(run.index, run.seed) for run in spec.expand()}
+    unexpected = sorted(set(merged) - expected)
+    if unexpected:
+        raise QueueCorrupt(
+            f"queue {queue!r} shards hold {len(unexpected)} record(s) outside the "
+            f"pinned sweep expansion (e.g. (index, seed) {unexpected[0]}); the "
+            f"shards were edited or mixed from another queue"
+        )
+    missing = sorted(expected - set(merged))
+    if missing:
+        status = queue_status(queue)
+        raise QueueIncomplete(queue, missing, status["tasks"], status["leases"])
+    records = list(merged.values())
+    # workers=0 marks externally-executed sweeps (as journal payloads do);
+    # the deterministic rows never depend on the worker topology.
+    payload = bench_payload(spec, 0, records)
+    path = write_bench(out_dir, spec.name, payload)
+    return path, payload

@@ -13,6 +13,7 @@ workloads of the ``benchmarks/`` suite; each returns a fully promised
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Dict, List
 
 import numpy as np
@@ -155,7 +156,15 @@ def _diagnostic_fault(params, rng):
     so the runner's error capture, ``--max-failures`` budget and
     journal-resume paths can be exercised deterministically from a declared
     workload.
+
+    A ``delay`` parameter sleeps that many seconds before building —
+    simulated slow construction, giving interruption drills (the
+    kill-a-worker queue test) a guaranteed mid-task window.  The delay
+    value rides in the grid, so rows stay deterministic; only wall time
+    (machine-dependent by design) sees the sleep.
     """
+    if params.get("delay"):
+        time.sleep(float(params["delay"]))
     if params.get("fail"):
         raise RuntimeError(
             f"diagnostic fault injected for params {dict(sorted(params.items()))}"

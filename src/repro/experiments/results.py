@@ -37,6 +37,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 from repro.blackbox.oracle import QueryCounter
 
 __all__ = [
+    "LedgerDivergence",
     "RunRecord",
     "SpecMismatch",
     "aggregate_records",
@@ -44,12 +45,14 @@ __all__ = [
     "atomic_write_json",
     "bench_payload",
     "bench_path",
+    "check_journal_agreement",
     "error_rows",
     "journal_path",
     "load_bench",
     "load_journal",
     "load_journal_payload",
     "load_validated_bench",
+    "merge_journal_records",
     "remove_journal",
     "resolve_bench",
     "rewrite_journal",
@@ -317,7 +320,7 @@ def load_journal_payload(path: str) -> Dict[str, object]:
     """
     lines = _journal_lines(path)
     header = next(lines, None)
-    if header is None or "sweep" not in header:
+    if not isinstance(header, dict) or "sweep" not in header:
         raise ValueError(f"{path} has no journal header; not a sweep journal")
     if header.get("journal_version") != JOURNAL_VERSION:
         raise ValueError(
@@ -325,8 +328,7 @@ def load_journal_payload(path: str) -> Dict[str, object]:
             f"expected {JOURNAL_VERSION}"
         )
     records: Dict[Tuple[int, int], RunRecord] = {}
-    for entry in lines:
-        record = RunRecord.from_json_dict(entry)
+    for record in _journal_records(lines):
         records[(record.index, record.seed)] = record
     ordered = sorted(records.values(), key=lambda record: record.index)
     return {
@@ -413,6 +415,25 @@ def _journal_lines(path: str) -> Iterator[Dict[str, object]]:
                 return
 
 
+def _journal_records(lines: Iterator[Dict[str, object]]) -> Iterator[RunRecord]:
+    """Parse journal entries into records, stopping at the first bad one.
+
+    A line can decode as JSON and still not be a record — a truncation that
+    happens to end on a digit, interleaved writes merging two lines, a
+    hand-edited file.  Everything *before* the first unparseable entry is
+    intact by the append-only discipline, so (exactly as for an undecodable
+    line) parsing stops there instead of crashing the reader or guessing at
+    the remainder.
+    """
+    for entry in lines:
+        if not isinstance(entry, dict):
+            return
+        try:
+            yield RunRecord.from_json_dict(entry)
+        except (KeyError, TypeError, ValueError):
+            return
+
+
 def load_journal(path: str, spec) -> Dict[Tuple[int, int], RunRecord]:
     """The journaled records of ``spec``, keyed by ``(index, seed)``.
 
@@ -425,9 +446,10 @@ def load_journal(path: str, spec) -> Dict[Tuple[int, int], RunRecord]:
         header = next(lines)
     except StopIteration:
         return {}
-    if header.get("journal_version") != JOURNAL_VERSION:
+    version = header.get("journal_version") if isinstance(header, dict) else None
+    if version != JOURNAL_VERSION:
         raise ValueError(
-            f"journal {path!r} has version {header.get('journal_version')!r}, "
+            f"journal {path!r} has version {version!r}, "
             f"expected {JOURNAL_VERSION}; delete it to start over"
         )
     expected = json.loads(json.dumps(spec.to_json_dict()))
@@ -437,10 +459,79 @@ def load_journal(path: str, spec) -> Dict[Tuple[int, int], RunRecord]:
             f"(name/seed/grid/sampler mismatch); delete it or rerun without --resume"
         )
     records: Dict[Tuple[int, int], RunRecord] = {}
-    for entry in lines:
-        record = RunRecord.from_json_dict(entry)
+    for record in _journal_records(lines):
         records[(record.index, record.seed)] = record
     return records
+
+
+def merge_journal_records(
+    paths: Sequence[str], spec
+) -> Dict[Tuple[int, int], RunRecord]:
+    """Merge several journal shards into one ``(index, seed)``-keyed ledger.
+
+    The distributed queue produces one shard per worker; every shard's
+    header must pin the same sweep ``spec`` (validated per shard by
+    :func:`load_journal`).  Duplicate keys arise legitimately — a stale
+    lease reclaimed after its worker already journaled the record means two
+    workers executed the same run — and are resolved by preferring a
+    ``status="ok"`` record over an ``"error"`` one; two ok records of the
+    same run are byte-identical by the determinism guarantee, so which one
+    survives is immaterial.
+    """
+    merged: Dict[Tuple[int, int], RunRecord] = {}
+    for path in sorted(paths):
+        for key, record in load_journal(path, spec).items():
+            existing = merged.get(key)
+            if existing is None or (existing.status == "error" and record.status != "error"):
+                merged[key] = record
+    return merged
+
+
+class LedgerDivergence(ValueError):
+    """A BENCH file and its surviving journal disagree about the same runs.
+
+    The journal is deleted when a sweep completes, so the two coexisting is
+    already unusual (a crash between ``write_bench`` and the journal
+    removal leaves them *in agreement*).  When they *disagree* — same
+    ``(index, seed)`` key, different row content — one of the two ledgers
+    is stale and there is no principled way to pick a side; every reader
+    (``report``/``summarise``/``plot``) refuses the file, naming the
+    divergent pairs, instead of silently preferring one source.
+    """
+
+
+def check_journal_agreement(payload: Dict[str, object], journal_file: str, path: str = "<memory>") -> None:
+    """Raise :class:`LedgerDivergence` when a journal contradicts a BENCH payload.
+
+    Rows are compared on the common ``(index, seed)`` keys; a journal that
+    holds a *subset* of agreeing rows is fine (an in-progress fresh attempt
+    of the same spec journals identical deterministic rows).  A journal
+    whose header pins a different sweep configuration, or that cannot be
+    read as a journal at all, is equally refused — agreement cannot be
+    attested against it.
+    """
+    jpayload = load_journal_payload(journal_file)
+    expected = json.loads(json.dumps(payload.get("sweep")))
+    if jpayload["sweep"] != expected:
+        raise LedgerDivergence(
+            f"{path} has a surviving journal {journal_file} written by a different "
+            f"sweep configuration (name/seed/grid/sampler mismatch); delete the "
+            f"stale ledger before analysing"
+        )
+    bench_rows = {(row["index"], row["seed"]): row for row in payload.get("rows", [])}
+    divergent = []
+    for row in jpayload["rows"]:
+        key = (row["index"], row["seed"])
+        if key in bench_rows and bench_rows[key] != row:
+            divergent.append(key)
+    if divergent:
+        shown = ", ".join(str(key) for key in divergent[:5])
+        suffix = ", ..." if len(divergent) > 5 else ""
+        raise LedgerDivergence(
+            f"{path} and its surviving journal {journal_file} disagree on "
+            f"{len(divergent)} run(s): (index, seed) pairs {shown}{suffix}; one of "
+            f"the two ledgers is stale — delete the wrong one or re-run the sweep"
+        )
 
 
 def remove_journal(path: str) -> None:

@@ -36,7 +36,7 @@ import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from contextlib import nullcontext
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -58,7 +58,14 @@ from repro.experiments.specs import RunSpec, SamplerSpec, SweepSpec
 from repro.groups.engine import engine_cache, engine_disabled
 from repro.quantum.sampling import FourierSampler
 
-__all__ = ["SweepAborted", "execute_run", "execute_run_safe", "make_sampler", "run_sweep"]
+__all__ = [
+    "SweepAborted",
+    "execute_batch",
+    "execute_run",
+    "execute_run_safe",
+    "make_sampler",
+    "run_sweep",
+]
 
 #: Recognised ``solver_options`` keys.  Strategy, sampler and engine use are
 #: first-class ``SweepSpec`` fields; instance parameters belong in the grid;
@@ -201,6 +208,80 @@ def execute_run_safe(run: RunSpec, shard_pool=None) -> RunRecord:
         )
 
 
+def execute_batch(
+    pending: Sequence[RunSpec],
+    admit,
+    workers: int = 1,
+    sampler_shards: Optional[int] = None,
+    over_budget=None,
+) -> bool:
+    """The worker-agnostic task-execution core: run descriptors, sink records.
+
+    Executes every descriptor in ``pending`` through
+    :func:`execute_run_safe` — inline for ``workers <= 1``, on a bounded
+    process-pool window otherwise — calling ``admit(record)`` as each record
+    completes.  The caller owns everything else: journaling, BENCH
+    persistence, failure accounting.  That split is what lets the same core
+    drive both :func:`run_sweep` (admit = journal append + in-memory list)
+    and other execution topologies that sink records elsewhere (the
+    distributed queue runner journals to per-worker shards).
+
+    ``over_budget`` is consulted after each admitted record; once it returns
+    true, dispatching stops, already-executing pool runs are drained (and
+    admitted — their work is real and must reach the ledger), and the batch
+    reports incompletion by returning ``False``.  ``True`` means every
+    pending descriptor was executed and admitted.
+
+    ``sampler_shards`` is the inline path's sampler sharding: a single
+    executor shared by every run of the batch (a pooled batch must not spawn
+    nested pools, so it is ignored for ``workers > 1`` — see
+    :func:`make_sampler`).
+    """
+    over = over_budget if over_budget is not None else (lambda: False)
+    if workers <= 1:
+        # Inline execution is where a SamplerSpec with shards= gets a real
+        # worker pool: one executor shared by every run of the batch.
+        pool_context = (
+            ProcessPoolExecutor(max_workers=int(sampler_shards))
+            if sampler_shards is not None and sampler_shards > 1
+            else nullcontext(None)
+        )
+        with pool_context as shard_pool:
+            for run in pending:
+                admit(execute_run_safe(run, shard_pool=shard_pool))
+                if over():
+                    return False
+        return True
+    # Bounded incremental submission: at most ~2x workers runs are ever
+    # in flight, so an over-budget abort stops dispatching almost
+    # immediately instead of waiting out an eagerly-submitted tail, and
+    # every record that did complete is admitted before the abort
+    # (records may arrive out of input order; rows are keyed and later
+    # sorted by index, so the payload is unaffected).
+    with ProcessPoolExecutor(max_workers=int(workers)) as pool:
+        queue = list(reversed(list(pending)))
+        in_flight = set()
+        window = 2 * int(workers)
+        while queue or in_flight:
+            while queue and len(in_flight) < window:
+                in_flight.add(pool.submit(execute_run_safe, queue.pop()))
+            finished, in_flight = wait(in_flight, return_when=FIRST_COMPLETED)
+            for future in finished:
+                admit(future.result())
+            if over():
+                for future in in_flight:
+                    future.cancel()
+                # Runs already executing cannot be cancelled; wait them
+                # out and admit their records so the ledger does not lose
+                # work that in fact completed.
+                drained, _ = wait(in_flight)
+                for future in drained:
+                    if not future.cancelled():
+                        admit(future.result())
+                return False
+    return True
+
+
 def run_sweep(
     spec: SweepSpec,
     workers: int = 1,
@@ -265,48 +346,15 @@ def run_sweep(
     def over_budget() -> bool:
         return max_failures is not None and failures > max_failures
 
-    if workers <= 1:
-        # Inline execution is where a SamplerSpec with shards= gets a real
-        # worker pool: one executor shared by every run of the sweep.
-        shards = spec.sampler.shards
-        pool_context = (
-            ProcessPoolExecutor(max_workers=int(shards))
-            if shards is not None and shards > 1
-            else nullcontext(None)
-        )
-        with pool_context as shard_pool:
-            for run in pending:
-                admit(execute_run_safe(run, shard_pool=shard_pool))
-                if over_budget():
-                    raise SweepAborted(spec.name, failures, max_failures, jpath)
-    else:
-        # Bounded incremental submission: at most ~2x workers runs are ever
-        # in flight, so a --max-failures abort stops dispatching almost
-        # immediately instead of waiting out an eagerly-submitted tail, and
-        # every record that did complete is journaled before the abort
-        # (records may journal out of input order; rows are keyed and later
-        # sorted by index, so the payload is unaffected).
-        with ProcessPoolExecutor(max_workers=int(workers)) as pool:
-            queue = list(reversed(pending))
-            in_flight = set()
-            window = 2 * int(workers)
-            while queue or in_flight:
-                while queue and len(in_flight) < window:
-                    in_flight.add(pool.submit(execute_run_safe, queue.pop()))
-                finished, in_flight = wait(in_flight, return_when=FIRST_COMPLETED)
-                for future in finished:
-                    admit(future.result())
-                if over_budget():
-                    for future in in_flight:
-                        future.cancel()
-                    # Runs already executing cannot be cancelled; wait them
-                    # out and journal their records so --resume does not
-                    # repeat work that in fact completed.
-                    drained, _ = wait(in_flight)
-                    for future in drained:
-                        if not future.cancelled():
-                            admit(future.result())
-                    raise SweepAborted(spec.name, failures, max_failures, jpath)
+    completed = execute_batch(
+        pending,
+        admit,
+        workers=workers,
+        sampler_shards=spec.sampler.shards,
+        over_budget=over_budget,
+    )
+    if not completed:
+        raise SweepAborted(spec.name, failures, max_failures, jpath)
 
     payload = bench_payload(spec, workers, records)
     if out_dir is None:

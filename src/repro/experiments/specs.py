@@ -71,6 +71,17 @@ class SamplerSpec:
             "statevector_limit": self.statevector_limit,
         }
 
+    @classmethod
+    def from_json_dict(cls, data: Mapping) -> "SamplerSpec":
+        """Rebuild a sampler spec from :meth:`to_json_dict` output."""
+        shards = data.get("shards")
+        return cls(
+            backend=str(data.get("backend", "auto")),
+            batch=bool(data.get("batch", True)),
+            shards=None if shards is None else int(shards),
+            statevector_limit=int(data.get("statevector_limit", 1 << 14)),
+        )
+
 
 @dataclass(frozen=True)
 class RunSpec:
@@ -101,6 +112,50 @@ class RunSpec:
 
     def options_dict(self) -> Dict[str, object]:
         return dict(self.solver_options)
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """The task-file serialization of the run (one queue task = one run).
+
+        Everything a worker on another machine needs to execute the run:
+        the distributed queue materialises each pending run as one JSON
+        task file, and :meth:`from_json_dict` must round-trip it exactly —
+        the descriptor *is* the unit of work, so any drift here would
+        silently change what a remote worker executes.
+        """
+        return {
+            "sweep": self.sweep,
+            "index": self.index,
+            "family": self.family,
+            "params": {key: _thaw(value) for key, value in self.params},
+            "repeat": self.repeat,
+            "seed": self.seed,
+            "strategy": self.strategy,
+            "sampler": self.sampler.to_json_dict(),
+            "solver_options": {key: _thaw(value) for key, value in self.solver_options},
+            "engine": self.engine,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping) -> "RunSpec":
+        """Rebuild a run descriptor from :meth:`to_json_dict` output.
+
+        The JSON round-trip turns tuples into lists; re-freezing restores
+        the exact original dataclass (asserted by equality in the tests).
+        """
+        return cls(
+            sweep=str(data["sweep"]),
+            index=int(data["index"]),
+            family=str(data["family"]),
+            params=tuple(sorted((str(k), _freeze(v)) for k, v in dict(data["params"]).items())),
+            repeat=int(data["repeat"]),
+            seed=int(data["seed"]),
+            strategy=str(data.get("strategy", "auto")),
+            sampler=SamplerSpec.from_json_dict(dict(data.get("sampler", {}))),
+            solver_options=tuple(
+                sorted((str(k), _freeze(v)) for k, v in dict(data.get("solver_options", {})).items())
+            ),
+            engine=bool(data.get("engine", True)),
+        )
 
 
 @dataclass(frozen=True)
@@ -214,3 +269,25 @@ class SweepSpec:
             "engine": self.engine,
             "description": self.description,
         }
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping) -> "SweepSpec":
+        """Rebuild a sweep spec from :meth:`to_json_dict` output.
+
+        The distributed queue stores the spec this way in its header file,
+        and a worker on another machine reconstructs it to validate its
+        journal shard and (in ``collect``) to recompute the expected run
+        list.  Round-trips exactly: ``from_json_dict(to_json_dict(s)) == s``.
+        """
+        return cls.from_grid(
+            name=str(data["name"]),
+            family=str(data["family"]),
+            grid=dict(data.get("grid", {})),
+            repeats=int(data.get("repeats", 1)),
+            seed=int(data.get("seed", DEFAULT_SEED)),
+            strategy=str(data.get("strategy", "auto")),
+            sampler=SamplerSpec.from_json_dict(dict(data.get("sampler", {}))),
+            solver_options=dict(data.get("solver_options", {})),
+            engine=bool(data.get("engine", True)),
+            description=str(data.get("description", "")),
+        )

@@ -122,6 +122,19 @@ declare(
     )
 )
 
+# -- distributed-queue drill (CI enqueue/work/collect coverage) --------------
+
+declare(
+    SweepSpec.from_grid(
+        "queue-smoke",
+        "dihedral_rotation",
+        {"n": [8, 12, 16]},
+        repeats=2,
+        description="6-run sweep sized for the distributed queue drill: "
+        "enqueue + N workers + collect must reproduce `run` byte-identically",
+    )
+)
+
 # -- statistics workloads (success vs rounds, strategy crossover) ------------
 
 declare(

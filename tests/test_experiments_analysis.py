@@ -562,11 +562,32 @@ class TestJournalAnalysis:
         assert cli_main(["report", jpath, "--out", str(tmp_path)]) == 0
         assert "in-progress journal" in capsys.readouterr().err
 
-    def test_bench_file_wins_over_journal(self, tmp_path, capsys):
-        # Once the sweep finished, the BENCH file is authoritative.
-        write_partial_journal(tmp_path, name="done")
-        rows = [make_row(0, {"n": 8})]
-        write_bench(str(tmp_path), "done", make_payload("done", {"n": [8]}, rows))
+    def test_bench_file_wins_over_an_agreeing_journal(self, tmp_path, capsys):
+        # Once the sweep finished, the BENCH file is authoritative — but
+        # only because the surviving journal (a crash landed between
+        # write_bench and the journal removal) *agrees* with it.  The
+        # journal's rows must be a subset of the BENCH rows; a journal that
+        # disagrees fails loudly instead (PR 5, see
+        # test_experiments_distributed.TestLedgerDivergence).
+        jpath = write_partial_journal(tmp_path, name="done")
+        jpayload = load_journal_payload(jpath)
+        spec = SweepSpec.from_grid("done", "synthetic", {"n": [8, 16]}, repeats=2, seed=SEED)
+        payload = {
+            "sweep": spec.to_json_dict(),
+            "workers": 1,
+            "rows": jpayload["rows"],
+            "timings": [],
+            "aggregate": {
+                "runs": len(jpayload["rows"]),
+                "successes": 2,
+                "errors": 0,
+                "success_rate": None,
+                "strategies": {},
+                "query_totals": {},
+                "wall_time_seconds": 0.0,
+            },
+        }
+        write_bench(str(tmp_path), "done", payload)
         assert cli_main(["report", "done", "--out", str(tmp_path)]) == 0
         assert "in-progress journal" not in capsys.readouterr().err
 

@@ -1,0 +1,504 @@
+"""The queue-backed distributed runner (PR 5).
+
+The contract under test:
+
+* a ``RunSpec`` round-trips exactly through its JSON task-file form — the
+  descriptor *is* the unit of work a remote worker executes;
+* ``enqueue`` materialises the pending runs as atomically-written task
+  files; ``work`` processes claim them via atomic ``os.rename`` leases
+  (exactly-once under contention), heartbeat by mtime, reclaim stale
+  leases of dead workers, and journal to per-worker shards;
+* ``collect`` merges the shards — dedup by ``(index, seed)``, ok preferred
+  over error — and produces rows byte-identical to a single-process
+  ``run`` of the same spec, refusing an incomplete queue loudly;
+* killing a worker mid-task (the integration drill) loses nothing: the
+  lease is reclaimed, a survivor re-executes the run, and the collected
+  BENCH matches the uninterrupted baseline;
+* a BENCH file and a surviving journal that *disagree* fail every reader
+  loudly, naming the divergent ``(index, seed)`` pairs.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+import repro
+from repro.experiments import (
+    LedgerDivergence,
+    QueueCorrupt,
+    QueueIncomplete,
+    RunRecord,
+    SweepSpec,
+    check_journal_agreement,
+    collect_queue,
+    enqueue_sweep,
+    load_bench,
+    merge_journal_records,
+    run_sweep,
+    work_queue,
+    write_bench,
+)
+from repro.experiments.cli import main as cli_main
+from repro.experiments.distributed import (
+    claim_next,
+    load_queue_spec,
+    queue_dir,
+    queue_status,
+    reclaim_stale,
+    shard_path,
+)
+from repro.experiments.results import (
+    append_journal,
+    journal_path,
+    load_journal,
+    rows_bytes,
+    write_journal_header,
+)
+from repro.experiments.specs import RunSpec, SamplerSpec
+
+SEED = 20010202
+SRC_DIR = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+def tiny_spec(name="queued", **kwargs):
+    defaults = dict(repeats=2, seed=SEED)
+    defaults.update(kwargs)
+    return SweepSpec.from_grid(name, "dihedral_rotation", {"n": [8, 12]}, **defaults)
+
+
+def faulty_spec(name="queued-faulty", **kwargs):
+    defaults = dict(repeats=2, seed=SEED)
+    defaults.update(kwargs)
+    return SweepSpec.from_grid(
+        name, "diagnostic_fault", {"n": [8], "fail": [False, True]}, **defaults
+    )
+
+
+class TestSpecSerialization:
+    def test_run_spec_round_trips_through_json(self):
+        spec = SweepSpec.from_grid(
+            "rt",
+            "abelian_random",
+            {"moduli": [(16, 9, 5)], "confidence": [4]},
+            repeats=3,
+            seed=7,
+            sampler=SamplerSpec(backend="analytic", shards=2),
+            solver_options={"engine_cache_dir": "/tmp/cache"},
+            engine=False,
+        )
+        for run in spec.expand():
+            round_tripped = RunSpec.from_json_dict(json.loads(json.dumps(run.to_json_dict())))
+            assert round_tripped == run
+
+    def test_sweep_spec_round_trips_through_json(self):
+        for spec in (tiny_spec(), faulty_spec(), SweepSpec.from_grid(
+            "rt2", "abelian_random", {"moduli": [(8, 9), (16, 9, 5)]}, description="d"
+        )):
+            round_tripped = SweepSpec.from_json_dict(json.loads(json.dumps(spec.to_json_dict())))
+            assert round_tripped == spec
+            assert round_tripped.expand() == spec.expand()
+
+    def test_sampler_spec_round_trips(self):
+        for sampler in (SamplerSpec(), SamplerSpec(backend="statevector", batch=False, shards=3)):
+            assert SamplerSpec.from_json_dict(sampler.to_json_dict()) == sampler
+
+
+class TestEnqueue:
+    def test_enqueue_materialises_every_run_as_a_task(self, tmp_path):
+        spec = tiny_spec()
+        queue = queue_dir(str(tmp_path), spec.name)
+        counts = enqueue_sweep(spec, queue)
+        assert counts == {"enqueued": 4, "already_done": 0}
+        status = queue_status(queue)
+        assert status == {"tasks": 4, "leases": 0, "shards": 0}
+        assert load_queue_spec(queue) == spec
+        # tasks parse back to the exact expansion
+        runs = []
+        while True:
+            claim = claim_next(queue, "w0")
+            if claim is None:
+                break
+            runs.append(claim[1])
+        assert runs == spec.expand()
+
+    def test_enqueue_refuses_a_busy_queue(self, tmp_path):
+        spec = tiny_spec()
+        queue = queue_dir(str(tmp_path), spec.name)
+        enqueue_sweep(spec, queue)
+        with pytest.raises(ValueError, match="outstanding"):
+            enqueue_sweep(spec, queue)
+
+    def test_enqueue_refuses_a_different_spec(self, tmp_path):
+        spec = tiny_spec()
+        queue = queue_dir(str(tmp_path), spec.name)
+        enqueue_sweep(spec, queue)
+        with pytest.raises(ValueError, match="different sweep configuration"):
+            enqueue_sweep(spec.with_overrides(seed=7), queue)
+
+    def test_reenqueue_of_a_drained_queue_retries_errors_only(self, tmp_path):
+        spec = faulty_spec()
+        queue = queue_dir(str(tmp_path), spec.name)
+        enqueue_sweep(spec, queue)
+        work_queue(queue, worker_id="w0")
+        counts = enqueue_sweep(spec, queue)  # 2 ok rows stay done, 2 errors retry
+        assert counts == {"enqueued": 2, "already_done": 2}
+        status = queue_status(queue)
+        assert status["tasks"] == 2
+
+
+class TestClaimAndLease:
+    def test_claim_is_exactly_once(self, tmp_path):
+        spec = tiny_spec()
+        queue = queue_dir(str(tmp_path), spec.name)
+        enqueue_sweep(spec, queue)
+        seen = set()
+        for worker in ("a", "b", "a", "b", "a"):
+            claim = claim_next(queue, worker)
+            if claim is None:
+                break
+            lease, run = claim
+            assert os.path.exists(lease)
+            assert run.index not in seen
+            seen.add(run.index)
+        assert seen == {0, 1, 2, 3}
+        assert claim_next(queue, "c") is None
+
+    def test_fresh_leases_are_not_reclaimed(self, tmp_path):
+        spec = tiny_spec()
+        queue = queue_dir(str(tmp_path), spec.name)
+        enqueue_sweep(spec, queue)
+        claim_next(queue, "w0")
+        assert reclaim_stale(queue, stale_after=60.0) == 0
+        assert queue_status(queue)["leases"] == 1
+
+    def test_lease_clock_starts_at_the_claim_not_at_enqueue(self, tmp_path):
+        # os.rename preserves the task file's mtime, so without the
+        # claim-time touch a task claimed long after enqueue would be born
+        # stale and reclaimed out from under its live holder
+        spec = tiny_spec()
+        queue = queue_dir(str(tmp_path), spec.name)
+        enqueue_sweep(spec, queue)
+        stamp = time.time() - 900
+        tasks = os.path.join(queue, "tasks")
+        for name in os.listdir(tasks):
+            os.utime(os.path.join(tasks, name), (stamp, stamp))
+        claim_next(queue, "slowpoke")
+        assert reclaim_stale(queue, stale_after=60.0) == 0
+        assert queue_status(queue)["leases"] == 1
+
+    def test_stale_lease_is_reclaimed_and_reexecuted(self, tmp_path):
+        spec = tiny_spec()
+        queue = queue_dir(str(tmp_path), spec.name)
+        enqueue_sweep(spec, queue)
+        lease, run = claim_next(queue, "dead")
+        stamp = time.time() - 900
+        os.utime(lease, (stamp, stamp))  # the holder died; its heartbeat froze
+        assert reclaim_stale(queue, stale_after=10.0) == 1
+        assert queue_status(queue) == {"tasks": 4, "leases": 0, "shards": 0}
+        # a live worker drains everything, including the reclaimed run
+        stats = work_queue(queue, worker_id="alive")
+        assert stats["executed"] == 4
+        _, payload = collect_queue(queue, str(tmp_path))
+        _, baseline = run_sweep(spec, workers=1, out_dir=None)
+        assert rows_bytes(payload) == rows_bytes(baseline)
+
+    def test_torn_task_file_is_refused_as_corrupt(self, tmp_path):
+        spec = tiny_spec()
+        queue = queue_dir(str(tmp_path), spec.name)
+        enqueue_sweep(spec, queue)
+        task = os.path.join(queue, "tasks", sorted(os.listdir(os.path.join(queue, "tasks")))[0])
+        with open(task, "w", encoding="utf-8") as handle:
+            handle.write('{"sweep": "queued", "ind')  # torn mid-write
+        with pytest.raises(QueueCorrupt, match="corrupt"):
+            work_queue(queue, worker_id="w0")
+
+    def test_restarted_worker_recovers_a_truncated_shard(self, tmp_path):
+        # a crash inside the header write leaves a zero-byte shard; a
+        # restarted worker with the same id must re-head it (not append
+        # records into a headerless file collect can never read)
+        spec = tiny_spec()
+        queue = queue_dir(str(tmp_path), spec.name)
+        enqueue_sweep(spec, queue)
+        open(shard_path(queue, "w0"), "w").close()
+        stats = work_queue(queue, worker_id="w0")
+        assert stats["executed"] == 4
+        _, payload = collect_queue(queue, str(tmp_path))
+        _, baseline = run_sweep(spec, workers=1, out_dir=None)
+        assert rows_bytes(payload) == rows_bytes(baseline)
+
+    def test_restarted_worker_compacts_a_torn_shard_tail(self, tmp_path):
+        # a crash mid-append leaves a torn trailing fragment; restarting the
+        # worker must compact it so its own appends start on a clean line
+        spec = tiny_spec()
+        queue = queue_dir(str(tmp_path), spec.name)
+        enqueue_sweep(spec, queue)
+        work_queue(queue, worker_id="w0", max_tasks=2)
+        shard = shard_path(queue, "w0")
+        with open(shard, "a", encoding="utf-8") as handle:
+            handle.write('{"index": 2, "torn')  # no trailing newline
+        stats = work_queue(queue, worker_id="w0")
+        assert stats["executed"] == 2
+        _, payload = collect_queue(queue, str(tmp_path))
+        _, baseline = run_sweep(spec, workers=1, out_dir=None)
+        assert rows_bytes(payload) == rows_bytes(baseline)
+
+    def test_worker_refuses_a_foreign_shard(self, tmp_path):
+        spec = tiny_spec()
+        queue = queue_dir(str(tmp_path), spec.name)
+        enqueue_sweep(spec, queue)
+        # a shard left by a *different* sweep configuration must be refused
+        write_journal_header(shard_path(queue, "w0"), spec.with_overrides(seed=7))
+        with pytest.raises(ValueError, match="different sweep configuration"):
+            work_queue(queue, worker_id="w0")
+
+
+class TestWorkAndCollect:
+    def test_single_worker_queue_matches_run(self, tmp_path):
+        spec = tiny_spec()
+        queue = queue_dir(str(tmp_path), spec.name)
+        enqueue_sweep(spec, queue)
+        stats = work_queue(queue, worker_id="solo")
+        assert stats == {"executed": 4, "errors": 0, "reclaimed": 0}
+        path, payload = collect_queue(queue, str(tmp_path))
+        _, baseline = run_sweep(spec, workers=1, out_dir=None)
+        assert rows_bytes(payload) == rows_bytes(baseline)
+        assert rows_bytes(load_bench(path)) == rows_bytes(baseline)
+
+    def test_two_alternating_workers_match_run(self, tmp_path):
+        spec = tiny_spec()
+        queue = queue_dir(str(tmp_path), spec.name)
+        enqueue_sweep(spec, queue)
+        # interleave two workers one task at a time: four shards-wise splits
+        executed = 0
+        while executed < 4:
+            for worker in ("w1", "w2"):
+                executed += work_queue(queue, worker_id=worker, max_tasks=1)["executed"]
+        assert queue_status(queue)["shards"] == 2
+        _, payload = collect_queue(queue, str(tmp_path))
+        _, baseline = run_sweep(spec, workers=1, out_dir=None)
+        assert rows_bytes(payload) == rows_bytes(baseline)
+
+    def test_error_rows_flow_through_the_queue(self, tmp_path):
+        spec = faulty_spec()
+        queue = queue_dir(str(tmp_path), spec.name)
+        enqueue_sweep(spec, queue)
+        stats = work_queue(queue, worker_id="w0")
+        assert stats["executed"] == 4 and stats["errors"] == 2
+        _, payload = collect_queue(queue, str(tmp_path))
+        _, baseline = run_sweep(spec, workers=1, out_dir=None)
+        assert rows_bytes(payload) == rows_bytes(baseline)
+        assert payload["aggregate"]["errors"] == 2
+
+    def test_collect_refuses_an_incomplete_queue(self, tmp_path):
+        spec = tiny_spec()
+        queue = queue_dir(str(tmp_path), spec.name)
+        enqueue_sweep(spec, queue)
+        work_queue(queue, worker_id="w0", max_tasks=2)
+        with pytest.raises(QueueIncomplete, match=r"2 run\(s\) have no journaled record"):
+            collect_queue(queue, str(tmp_path))
+
+    def test_collect_refuses_foreign_shard_records(self, tmp_path):
+        spec = tiny_spec()
+        queue = queue_dir(str(tmp_path), spec.name)
+        enqueue_sweep(spec, queue)
+        work_queue(queue, worker_id="w0")
+        rogue = RunRecord(
+            sweep=spec.name, index=99, family="dihedral_rotation", params={"n": 8},
+            repeat=0, seed=1, strategy="auto", success=True, generators=[], query_report={},
+        )
+        append_journal(shard_path(queue, "w0"), rogue)
+        with pytest.raises(QueueCorrupt, match="outside the pinned sweep expansion"):
+            collect_queue(queue, str(tmp_path))
+
+    def test_partial_shard_torn_line_counts_as_missing(self, tmp_path):
+        spec = tiny_spec()
+        queue = queue_dir(str(tmp_path), spec.name)
+        enqueue_sweep(spec, queue)
+        work_queue(queue, worker_id="w0")
+        shard = shard_path(queue, "w0")
+        lines = open(shard, "r", encoding="utf-8").read().splitlines(keepends=True)
+        with open(shard, "w", encoding="utf-8") as handle:
+            handle.writelines(lines[:-1])
+            handle.write(lines[-1][: len(lines[-1]) // 2])  # tear the final record
+        with pytest.raises(QueueIncomplete, match=r"1 run\(s\)"):
+            collect_queue(queue, str(tmp_path))
+
+    def test_duplicate_records_across_shards_dedup_preferring_ok(self, tmp_path):
+        spec = faulty_spec()
+        queue = queue_dir(str(tmp_path), spec.name)
+        enqueue_sweep(spec, queue)
+        work_queue(queue, worker_id="w0")
+        # a reclaimed-after-append duplicate: the same runs journaled again
+        # by a second worker, with one legitimate error row flipped to ok —
+        # the merge must prefer the ok record wherever one exists
+        records = load_journal(shard_path(queue, "w0"), spec)
+        duplicate = shard_path(queue, "w1")
+        write_journal_header(duplicate, spec)
+        import dataclasses
+
+        for key, record in sorted(records.items()):
+            if record.status == "error":
+                record = dataclasses.replace(record, status="ok", error=None, success=True)
+            append_journal(duplicate, record)
+        merged = merge_journal_records([shard_path(queue, "w0"), duplicate], spec)
+        assert len(merged) == 4
+        assert all(record.status == "ok" for record in merged.values())
+        # and the reverse shard order makes no difference
+        reversed_merge = merge_journal_records([duplicate, shard_path(queue, "w0")], spec)
+        assert {k: v.row() for k, v in merged.items()} == {
+            k: v.row() for k, v in reversed_merge.items()
+        }
+
+
+class TestKillAWorker:
+    def _spawn_worker(self, queue, worker_id):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+        return subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.experiments", "work", queue,
+                "--worker-id", worker_id,
+                "--stale-after", "1.2", "--poll", "0.1", "--heartbeat", "0.25",
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+
+    def test_sigkilled_worker_loses_nothing(self, tmp_path):
+        # 3 workers on one queue; one is SIGKILLed mid-task.  Its lease must
+        # go stale and be reclaimed, a survivor re-executes the run, and the
+        # collected BENCH rows are byte-identical to an uninterrupted
+        # single-process run.  The diagnostic family's `delay` parameter
+        # guarantees a wide mid-task window to land the kill in.
+        spec = SweepSpec.from_grid(
+            "kill-drill",
+            "diagnostic_fault",
+            {"n": [8], "delay": [0.4]},
+            repeats=6,
+            seed=SEED,
+        )
+        queue = queue_dir(str(tmp_path), spec.name)
+        enqueue_sweep(spec, queue)
+        workers = {wid: self._spawn_worker(queue, wid) for wid in ("w0", "w1", "w2")}
+        leases = os.path.join(queue, "leases")
+        victim = None
+        deadline = time.time() + 20.0
+        while time.time() < deadline:
+            held = [name for name in os.listdir(leases) if "@" in name]
+            if held:
+                task_name, victim = held[0].split("@", 1)
+                break
+            time.sleep(0.005)
+        assert victim is not None, "no worker ever claimed a task"
+        workers[victim].send_signal(signal.SIGKILL)
+        workers[victim].wait(timeout=30)
+        survivor_output = []
+        for wid, proc in workers.items():
+            if wid == victim:
+                continue
+            out, _ = proc.communicate(timeout=90)
+            survivor_output.append(out)
+            assert proc.returncode == 0, out
+        assert queue_status(queue)["tasks"] == 0
+        assert queue_status(queue)["leases"] == 0, "the dead worker's lease must be reclaimed"
+        path, payload = collect_queue(queue, str(tmp_path))
+        _, baseline = run_sweep(spec, workers=1, out_dir=None)
+        assert rows_bytes(payload) == rows_bytes(baseline)
+        assert rows_bytes(load_bench(path)) == rows_bytes(baseline)
+        assert payload["aggregate"]["runs"] == 6
+        assert payload["aggregate"]["errors"] == 0
+
+
+class TestLedgerDivergence:
+    def _completed_bench_with_journal(self, tmp_path, mutate):
+        spec = tiny_spec("diverge")
+        path, payload = run_sweep(spec, workers=1, out_dir=str(tmp_path))
+        # resurrect the journal as if the process crashed between write_bench
+        # and remove_journal, then apply `mutate` to the payload rows to
+        # fabricate the disagreement
+        jpath = journal_path(str(tmp_path), "diverge")
+        write_journal_header(jpath, spec)
+        for row in payload["rows"]:
+            entry = dict(row)
+            entry["sweep"] = spec.name
+            entry["wall_time_seconds"] = 0.0
+            record = RunRecord.from_json_dict(entry)
+            append_journal(jpath, record)
+        mutated = json.loads(json.dumps(payload))
+        mutate(mutated)
+        write_bench(str(tmp_path), "diverge", mutated)
+        return path
+
+    def test_agreeing_journal_is_accepted(self, tmp_path):
+        path = self._completed_bench_with_journal(tmp_path, lambda payload: None)
+        assert cli_main(["report", "diverge", "--out", str(tmp_path)]) == 0
+
+    def test_divergent_journal_fails_report_naming_pairs(self, tmp_path, capsys):
+        def flip(payload):
+            payload["rows"][1]["success"] = not payload["rows"][1]["success"]
+
+        self._completed_bench_with_journal(tmp_path, flip)
+        assert cli_main(["report", "diverge", "--out", str(tmp_path)]) == 1
+        err = capsys.readouterr().err
+        assert "disagree" in err
+        assert "(1," in err  # the divergent (index, seed) pair is named
+
+    def test_divergent_journal_fails_summarise(self, tmp_path, capsys):
+        def flip(payload):
+            payload["rows"][0]["query_report"]["quantum_queries"] = 10**6
+
+        self._completed_bench_with_journal(tmp_path, flip)
+        assert cli_main(["summarise", "diverge", "--out", str(tmp_path)]) == 1
+        assert "disagree" in capsys.readouterr().err
+
+    def test_journal_of_a_different_spec_is_divergence(self, tmp_path):
+        spec = tiny_spec("diverge2")
+        _, payload = run_sweep(spec, workers=1, out_dir=str(tmp_path))
+        jpath = journal_path(str(tmp_path), "diverge2")
+        write_journal_header(jpath, spec.with_overrides(seed=99))
+        with pytest.raises(LedgerDivergence, match="different sweep configuration"):
+            check_journal_agreement(payload, jpath, path="BENCH_diverge2.json")
+
+
+class TestQueueCLI:
+    def test_enqueue_work_collect_lifecycle(self, tmp_path, capsys):
+        out = str(tmp_path)
+        queue = os.path.join(out, "QUEUE_queue-smoke")
+        assert cli_main(["enqueue", "queue-smoke", "--out", out]) == 0
+        assert "enqueued 6 task(s)" in capsys.readouterr().out
+        assert cli_main(["work", queue, "--worker-id", "w1", "--max-tasks", "3"]) == 0
+        assert cli_main(["work", queue, "--worker-id", "w2"]) == 0
+        assert cli_main(["collect", queue, "--out", out]) == 0
+        captured = capsys.readouterr().out
+        assert "6 runs" in captured
+        assert os.path.exists(os.path.join(out, "BENCH_queue-smoke.json"))
+
+    def test_collect_incomplete_queue_exits_nonzero(self, tmp_path, capsys):
+        out = str(tmp_path)
+        queue = os.path.join(out, "QUEUE_queue-smoke")
+        assert cli_main(["enqueue", "queue-smoke", "--out", out]) == 0
+        assert cli_main(["collect", queue, "--out", out]) == 1
+        assert "incomplete" in capsys.readouterr().err
+
+    def test_enqueue_unknown_workload_exits_nonzero(self, tmp_path, capsys):
+        assert cli_main(["enqueue", "no-such-sweep", "--out", str(tmp_path)]) == 1
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_work_on_a_non_queue_exits_nonzero(self, tmp_path, capsys):
+        assert cli_main(["work", str(tmp_path)]) == 1
+        assert "spec.json" in capsys.readouterr().err
+
+    def test_enqueue_with_overrides_round_trips(self, tmp_path):
+        out = str(tmp_path)
+        assert cli_main(["enqueue", "queue-smoke", "--out", out, "--repeats", "1", "--seed", "5"]) == 0
+        queue = os.path.join(out, "QUEUE_queue-smoke")
+        spec = load_queue_spec(queue)
+        assert spec.repeats == 1 and spec.seed == 5
+        assert queue_status(queue)["tasks"] == 3

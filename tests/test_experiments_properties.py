@@ -1,0 +1,269 @@
+"""Property-based (hypothesis) hardening of the experiment stack (PR 5).
+
+Three adversarial properties:
+
+* **planted saturation recovery** — data generated from the exact
+  ``s(r) = 1-(1-p)^r`` model, with and without binomial noise, must yield a
+  fitted ``p`` inside the envelope of the per-point Wilson-implied ``p``
+  intervals (and, noise-free, within scan resolution of the plant);
+* **permutation invariance** — ``analyse`` is a pure function of the row
+  *set*: shuffling the rows of a BENCH payload (as a shard merge or journal
+  replay might) changes no statistic, cell order included;
+* **journal fuzz** — journals and shards mangled by truncation at any byte,
+  duplicated/interleaved lines and conflicting ok/error records for the same
+  ``(index, seed)`` never crash the readers and never double-count a row.
+"""
+
+import json
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments.analysis import analyse, fit_saturation, wilson_interval
+from repro.experiments.results import (
+    RunRecord,
+    load_journal_payload,
+    rows_bytes,
+    validate_rows,
+)
+
+SEED = 20010202
+
+
+# ---------------------------------------------------------------------------
+# Planted saturation fits
+# ---------------------------------------------------------------------------
+
+
+def _implied_p_envelope(points):
+    """The hull of per-point Wilson-implied ``p`` ranges.
+
+    A point ``(r, successes, n)`` bounds the per-round probability via the
+    Wilson interval on the observed rate: ``s = 1-(1-p)^r`` inverts to
+    ``p = 1-(1-s)^(1/r)``, monotone in ``s``.  Any reasonable weighted fit
+    must land inside the union hull of those ranges.
+    """
+    lows, highs = [], []
+    for r, successes, n in points:
+        low, high = wilson_interval(successes, n)
+        lows.append(1.0 - (1.0 - low) ** (1.0 / r))
+        highs.append(1.0 - (1.0 - high) ** (1.0 / r))
+    return min(lows), max(highs)
+
+
+class TestPlantedSaturation:
+    @given(
+        p=st.floats(min_value=0.05, max_value=0.9),
+        rounds=st.lists(st.integers(min_value=1, max_value=24), min_size=3, max_size=8, unique=True),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_noise_free_plant_is_recovered(self, p, rounds):
+        n = 1000
+        # always include the r=1 point: a grid of high round counts alone
+        # saturates at rate 1.0 for large p and the plant is unidentifiable
+        points = [(r, n * (1.0 - (1.0 - p) ** r), n) for r in sorted(set(rounds) | {1})]
+        fit = fit_saturation(points)
+        assert fit is not None
+        # scan resolution is 1/2000 with golden-section refinement on the
+        # bracketing interval; exact data must pin the plant tightly
+        assert abs(fit["p"] - p) < 2e-3
+        assert fit["sse"] < 1e-6
+
+    @given(
+        p=st.floats(min_value=0.05, max_value=0.9),
+        noise_seed=st.integers(min_value=0, max_value=2**31 - 1),
+        rounds=st.lists(st.integers(min_value=1, max_value=20), min_size=3, max_size=6, unique=True),
+        runs=st.integers(min_value=50, max_value=400),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_noisy_plant_lands_in_the_wilson_envelope(self, p, noise_seed, rounds, runs):
+        rng = np.random.default_rng(noise_seed)
+        points = []
+        for r in sorted(rounds):
+            expected = 1.0 - (1.0 - p) ** r
+            points.append((r, int(rng.binomial(runs, expected)), runs))
+        fit = fit_saturation(points)
+        assert fit is not None
+        low, high = _implied_p_envelope(points)
+        assert low - 1e-9 <= fit["p"] <= high + 1e-9
+        # residuals are reported against the fitted curve, one per point
+        assert len(fit["points"]) == len(points)
+        for point in fit["points"]:
+            assert math.isclose(point["residual"], point["rate"] - point["fitted"], abs_tol=1e-9)
+
+    def test_degenerate_inputs_have_no_fit(self):
+        assert fit_saturation([]) is None
+        assert fit_saturation([(1, 3, 8)]) is None
+        assert fit_saturation([(1, 0, 0), (2, 0, 0)]) is None
+
+
+# ---------------------------------------------------------------------------
+# Permutation invariance of the analysis
+# ---------------------------------------------------------------------------
+
+
+def _synthetic_payload():
+    """A hand-built two-axis sweep payload (saturation-shaped grid).
+
+    Statuses mix ok/error and successes vary, so every analysis code path
+    (cells, fits, error tallies) is exercised without running a solver.
+    """
+    grid = {"n": [8, 16], "confidence": [1, 2, 4]}
+    rows = []
+    index = 0
+    for n in grid["n"]:
+        for confidence in grid["confidence"]:
+            for repeat in range(3):
+                status = "error" if (index % 7 == 3) else "ok"
+                rows.append(
+                    {
+                        "index": index,
+                        "family": "dihedral_rotation",
+                        "params": {"confidence": confidence, "n": n},
+                        "repeat": repeat,
+                        "seed": 1000 + index,
+                        "strategy": "auto",
+                        "status": status,
+                        "error": "Traceback ..." if status == "error" else None,
+                        "success": status == "ok" and (index % 3 != 1),
+                        "generators": [],
+                        "query_report": {"quantum_queries": 5 + index % 4},
+                    }
+                )
+                index += 1
+    payload = {
+        "sweep": {
+            "name": "synthetic-perm",
+            "family": "dihedral_rotation",
+            "grid": grid,
+            "repeats": 3,
+            "seed": SEED,
+        },
+        "workers": 1,
+        "rows": rows,
+        "timings": [],
+        "aggregate": {},
+    }
+    validate_rows(payload)  # the fixture must be a legal sweep payload
+    return payload
+
+
+class TestPermutationInvariance:
+    @given(order_seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_analyse_is_invariant_under_row_permutation(self, order_seed):
+        payload = _synthetic_payload()
+        baseline = analyse(payload, source="BENCH_synthetic-perm.json")
+        shuffled = json.loads(json.dumps(payload))
+        np.random.default_rng(order_seed).shuffle(shuffled["rows"])
+        permuted = analyse(shuffled, source="BENCH_synthetic-perm.json")
+        assert json.dumps(permuted, sort_keys=True) == json.dumps(baseline, sort_keys=True)
+
+    def test_reversed_rows_change_nothing(self):
+        payload = _synthetic_payload()
+        baseline = analyse(payload)
+        reversed_payload = dict(payload, rows=list(reversed(payload["rows"])))
+        assert analyse(reversed_payload) == baseline
+        # the cells keep grid-expansion order, not storage order
+        first_cell = baseline["cells"][0]["params"]
+        assert first_cell == {"confidence": 1, "n": 8}
+
+
+# ---------------------------------------------------------------------------
+# Journal / shard reader fuzz
+# ---------------------------------------------------------------------------
+
+
+def _journal_bytes(records, header=True):
+    lines = []
+    if header:
+        from repro.experiments.results import JOURNAL_VERSION
+
+        lines.append(
+            json.dumps(
+                {
+                    "journal_version": JOURNAL_VERSION,
+                    "sweep": {"name": "fuzz", "family": "dihedral_rotation", "grid": {}},
+                },
+                sort_keys=True,
+            )
+        )
+    for record in records:
+        lines.append(json.dumps(record.to_json_dict(), sort_keys=True))
+    return ("\n".join(lines) + "\n").encode("utf-8")
+
+
+def _record(index, seed, status="ok"):
+    return RunRecord(
+        sweep="fuzz",
+        index=index,
+        family="dihedral_rotation",
+        params={},
+        repeat=0,
+        seed=seed,
+        strategy="auto",
+        success=status == "ok",
+        generators=[],
+        query_report={"quantum_queries": index},
+        status=status,
+        error="Traceback ..." if status == "error" else None,
+    )
+
+
+class TestJournalFuzz:
+    @given(data=st.data())
+    @settings(max_examples=120, deadline=None)
+    def test_mangled_journals_never_crash_or_double_count(self, data, tmp_path_factory):
+        keys = data.draw(
+            st.lists(
+                st.tuples(st.integers(0, 9), st.integers(0, 99)), min_size=0, max_size=6, unique=True
+            )
+        )
+        # conflicting ok/error records for the same key, plus duplicates
+        records = []
+        for index, seed in keys:
+            for status in data.draw(
+                st.lists(st.sampled_from(["ok", "error"]), min_size=1, max_size=3)
+            ):
+                records.append(_record(index, seed, status))
+        blob = _journal_bytes(records, header=data.draw(st.booleans()))
+        # mangle: truncate at an arbitrary byte, then optionally interleave a
+        # garbage line (torn writes merging) and duplicate a line
+        cut = data.draw(st.integers(min_value=0, max_value=len(blob)))
+        blob = blob[:cut]
+        lines = blob.split(b"\n")
+        if data.draw(st.booleans()) and lines:
+            at = data.draw(st.integers(0, len(lines) - 1))
+            garbage = data.draw(
+                st.sampled_from([b"null", b"42", b'{"index": "x"}', b"{]", b"", b'"str"'])
+            )
+            lines.insert(at, garbage)
+        if data.draw(st.booleans()) and len(lines) > 1:
+            at = data.draw(st.integers(0, len(lines) - 1))
+            lines.insert(at, lines[at])
+        blob = b"\n".join(lines)
+
+        path = tmp_path_factory.mktemp("fuzz") / "shard.jsonl"
+        path.write_bytes(blob)
+        try:
+            payload = load_journal_payload(str(path))
+        except ValueError:
+            return  # a refused header is a *loud* failure, never a crash
+        rows = payload["rows"]
+        seen = {(row["index"], row["seed"]) for row in rows}
+        assert len(seen) == len(rows), "a (index, seed) key was double-counted"
+        assert seen <= set(keys), "a row appeared that was never journaled"
+        # whatever survived is well-formed enough to serialize
+        assert rows_bytes(payload)
+
+    def test_empty_and_headerless_files_are_refused(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(ValueError, match="no journal header"):
+            load_journal_payload(str(empty))
+        headerless = tmp_path / "rows-only.jsonl"
+        headerless.write_text(json.dumps(_record(0, 1).to_json_dict()) + "\n")
+        with pytest.raises(ValueError, match="no journal header|version"):
+            load_journal_payload(str(headerless))
