@@ -29,11 +29,17 @@ persistent experiment layer:
     BENCH-vs-journal agreement check;
 ``distributed``
     the queue-backed distributed runner: ``enqueue`` materialises pending
-    runs as claimable task files in a shared ``QUEUE_<name>/`` directory,
-    any number of ``work`` processes (across machines sharing the
-    directory) claim them via atomic-rename leases with mtime-heartbeat
-    stale reclamation and journal to per-worker shards, and ``collect``
-    merges the shards into a BENCH byte-identical to a single-process run;
+    runs as claimable tasks on a pluggable queue *transport* — a shared
+    ``QUEUE_<name>/`` directory (atomic-rename leases, mtime heartbeats)
+    or a single-file SQLite WAL database (``BEGIN IMMEDIATE``
+    transactional claims) — any number of ``work`` processes claim them
+    with heartbeat-based stale reclamation and corrupt-task quarantine,
+    and ``collect`` merges the per-worker shards into a BENCH
+    byte-identical to a single-process run;
+``transports``
+    the :class:`Transport` protocol (enqueue/claim/heartbeat/release/
+    reclaim/append/enumerate/status) and its directory and SQLite
+    implementations;
 ``workloads``
     the declared sweeps (including the migrated ``benchmarks/bench_*``
     workloads) and the per-workload analysis directives (which grid axes
@@ -61,11 +67,14 @@ from repro.experiments.analysis import (
     write_analysis,
 )
 from repro.experiments.distributed import (
+    QueueBusy,
     QueueCorrupt,
     QueueIncomplete,
     collect_queue,
     enqueue_sweep,
+    queue_db_path,
     queue_dir,
+    resolve_transport,
     work_queue,
 )
 from repro.experiments.registry import build_instance, families
@@ -81,9 +90,11 @@ from repro.experiments.results import (
     load_journal,
     load_validated_bench,
     merge_journal_records,
+    merge_record_streams,
     resolve_bench,
     write_bench,
 )
+from repro.experiments.transports import DirectoryTransport, SqliteTransport, Transport
 from repro.experiments.runner import (
     SweepAborted,
     execute_batch,
@@ -105,10 +116,14 @@ __all__ = [
     "ANALYSES",
     "DEFAULT_SEED",
     "AnalysisDirective",
+    "DirectoryTransport",
     "LedgerDivergence",
+    "QueueBusy",
     "QueueCorrupt",
     "QueueIncomplete",
     "RunSpec",
+    "SqliteTransport",
+    "Transport",
     "SamplerSpec",
     "SpecMismatch",
     "SweepAborted",
@@ -137,8 +152,11 @@ __all__ = [
     "load_validated_bench",
     "locate_crossover",
     "merge_journal_records",
+    "merge_record_streams",
+    "queue_db_path",
     "queue_dir",
     "resolve_bench",
+    "resolve_transport",
     "run_sweep",
     "wilson_interval",
     "work_queue",

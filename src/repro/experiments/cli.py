@@ -10,16 +10,21 @@ Nine subcommands make sweeps reproducible (and analysable) from a shell:
     may error before the sweep aborts, and ``--resume`` continues an
     interrupted sweep from its ``BENCH_<name>.partial.jsonl`` journal;
 ``enqueue NAME``
-    materialise a sweep's pending runs into a ``QUEUE_<name>/`` directory
-    of claimable task files (the distributed-queue front half);
-``work QUEUE_DIR``
+    materialise a sweep's pending runs as claimable tasks on a queue
+    transport — ``--transport dir`` (a ``QUEUE_<name>/`` directory of task
+    files, the default) or ``--transport sqlite`` (a single
+    ``QUEUE_<name>.sqlite`` WAL database; ``--queue-db`` names it
+    explicitly);
+``work QUEUE``
     claim and execute queue tasks until the queue drains — any number of
-    ``work`` processes, on any machine sharing the directory, cooperate
-    via atomic-rename leases with mtime-heartbeat stale reclamation;
-``collect QUEUE_DIR``
-    merge the per-worker journal shards of a drained queue into a
+    ``work`` processes sharing the queue (a directory or a database file,
+    auto-detected) cooperate via leased claims with heartbeat-based stale
+    reclamation; corrupt tasks are quarantined and reported, never
+    crash-looped;
+``collect QUEUE``
+    merge the per-worker record shards of a drained queue into a
     ``BENCH_<name>.json`` whose deterministic rows are byte-identical to a
-    single-process ``run``;
+    single-process ``run`` (``--force`` overrides the live-lease refusal);
 ``report NAME-or-PATH``
     print the per-run rows and the aggregate of a produced BENCH file;
 ``summarise NAME-or-PATH``
@@ -43,6 +48,8 @@ Examples::
     python -m repro.experiments work .benchmarks/QUEUE_queue-smoke &
     python -m repro.experiments work .benchmarks/QUEUE_queue-smoke
     python -m repro.experiments collect .benchmarks/QUEUE_queue-smoke --out .benchmarks
+    python -m repro.experiments enqueue queue-smoke --transport sqlite --out .benchmarks
+    python -m repro.experiments work .benchmarks/QUEUE_queue-smoke.sqlite
     python -m repro.experiments report smoke --out .benchmarks
     python -m repro.experiments summarise success-vs-rounds
     python -m repro.experiments plot strategy-crossover --svg crossover.svg
@@ -133,14 +140,27 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     enqueue_parser = sub.add_parser(
-        "enqueue", help="materialise a sweep's pending runs as a QUEUE_<name>/ of claimable tasks"
+        "enqueue", help="materialise a sweep's pending runs as claimable queue tasks"
     )
     enqueue_parser.add_argument("name", help="a workload name from `list`")
     enqueue_parser.add_argument(
-        "--out", default=".", help="directory the QUEUE_<name> directory is created in"
+        "--out", default=".", help="directory the queue (QUEUE_<name> or QUEUE_<name>.sqlite) is created in"
     )
     enqueue_parser.add_argument(
-        "--queue", default=None, metavar="DIR", help="explicit queue directory (overrides --out)"
+        "--transport",
+        choices=list(distributed.TRANSPORT_KINDS),
+        default="dir",
+        help="queue backend: a shared directory of task files (dir, the default) "
+        "or a single-file SQLite WAL database (sqlite)",
+    )
+    enqueue_parser.add_argument(
+        "--queue", default=None, metavar="DIR", help="explicit queue directory (overrides --out; implies --transport dir)"
+    )
+    enqueue_parser.add_argument(
+        "--queue-db",
+        default=None,
+        metavar="PATH",
+        help="explicit queue database path (overrides --out; implies --transport sqlite)",
     )
     enqueue_parser.add_argument("--seed", type=int, default=None, help="override the sweep master seed")
     enqueue_parser.add_argument(
@@ -150,37 +170,50 @@ def _build_parser() -> argparse.ArgumentParser:
     work_parser = sub.add_parser(
         "work", help="claim and execute queue tasks until the queue drains"
     )
-    work_parser.add_argument("queue", help="the QUEUE_<name> directory (shared across workers)")
+    work_parser.add_argument(
+        "queue",
+        help="the shared queue: a QUEUE_<name> directory or a QUEUE_<name>.sqlite "
+        "database (auto-detected)",
+    )
     work_parser.add_argument(
         "--worker-id", default=None, help="stable worker id (default: host-pid-random)"
     )
     work_parser.add_argument(
         "--stale-after",
-        type=float,
+        type=_positive_seconds,
         default=300.0,
         help="seconds without a heartbeat before a lease is reclaimed (default 300)",
     )
     work_parser.add_argument(
         "--poll",
-        type=float,
+        type=_positive_seconds,
         default=1.0,
         help="seconds between checks while waiting on other workers' leases (default 1)",
     )
     work_parser.add_argument(
         "--heartbeat",
-        type=float,
+        type=_positive_seconds,
         default=None,
-        help="seconds between lease mtime touches (default: stale-after / 4)",
+        help="seconds between lease liveness touches "
+        "(default: min(stale-after / 10, 5); must be < stale-after)",
     )
     work_parser.add_argument(
         "--max-tasks", type=int, default=None, help="stop after executing this many tasks"
     )
 
     collect_parser = sub.add_parser(
-        "collect", help="merge a drained queue's journal shards into BENCH_<name>.json"
+        "collect", help="merge a drained queue's record shards into BENCH_<name>.json"
     )
-    collect_parser.add_argument("queue", help="the QUEUE_<name> directory")
+    collect_parser.add_argument(
+        "queue", help="the queue: a QUEUE_<name> directory or a QUEUE_<name>.sqlite database"
+    )
     collect_parser.add_argument("--out", default=".", help="output directory for the BENCH file")
+    collect_parser.add_argument(
+        "--force",
+        action="store_true",
+        help="collect even while live leases are outstanding (the covered rows are "
+        "deterministic; the still-running worker's re-execution is a harmless duplicate)",
+    )
 
     sub.add_parser("list", help="list declared workloads and instance families")
 
@@ -227,6 +260,19 @@ def _build_parser() -> argparse.ArgumentParser:
         help="target total cache size in bytes (0 empties the cache)",
     )
     return parser
+
+
+def _positive_seconds(text: str) -> float:
+    """argparse type for lease timings: rejects zero/negative durations at
+    parse time — ``--stale-after 0`` would make every live lease instantly
+    reclaimable and the queue would thrash re-executing work forever."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a duration in seconds, got {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"duration must be positive, got {value}")
+    return value
 
 
 def _non_negative_bytes(text: str) -> int:
@@ -374,9 +420,16 @@ def _command_enqueue(args) -> int:
     except (KeyError, ValueError) as error:
         print(str(error), file=sys.stderr)
         return 1
-    queue = args.queue or distributed.queue_dir(args.out, spec.name)
+    if args.queue_db:
+        queue, kind = args.queue_db, "sqlite"
+    elif args.queue:
+        queue, kind = args.queue, "dir"
+    elif args.transport == "sqlite":
+        queue, kind = distributed.queue_db_path(args.out, spec.name), "sqlite"
+    else:
+        queue, kind = distributed.queue_dir(args.out, spec.name), "dir"
     try:
-        counts = distributed.enqueue_sweep(spec, queue)
+        counts = distributed.enqueue_sweep(spec, queue, kind=kind)
     except (distributed.QueueCorrupt, ValueError) as error:
         print(str(error), file=sys.stderr)
         return 1
@@ -388,6 +441,28 @@ def _command_enqueue(args) -> int:
     print(f"enqueued {counts['enqueued']} task(s) into {queue}{done_note}")
     print(f"  start workers with: python -m repro.experiments work {queue}")
     return 0
+
+
+def _report_corrupt_tasks(queue: str) -> int:
+    """Print the loud quarantined-corrupt report once; the count reported.
+
+    The report names every quarantined task and its parse error, so a
+    torn/edited task file surfaces as one actionable message instead of the
+    old crash-holding-the-lease reclaim ping-pong.
+    """
+    try:
+        quarantined = distributed.corrupt_report(queue)
+    except distributed.QueueCorrupt:
+        return 0  # the queue itself is unreadable; the caller already reported that
+    if quarantined:
+        print(
+            f"CORRUPT: {len(quarantined)} task(s) quarantined in {queue} — the queue "
+            f"drained around them; re-enqueue the sweep to reissue them:",
+            file=sys.stderr,
+        )
+        for item in quarantined:
+            print(f"  {item.task_id}: {item.reason}", file=sys.stderr)
+    return len(quarantined)
 
 
 def _command_work(args) -> int:
@@ -407,15 +482,29 @@ def _command_work(args) -> int:
         f"worker drained {args.queue}: executed {stats['executed']} task(s), "
         f"{stats['errors']} error(s), reclaimed {stats['reclaimed']} stale lease(s)"
     )
+    if _report_corrupt_tasks(args.queue):
+        return 1
     return 0
 
 
 def _command_collect(args) -> int:
     try:
-        path, payload = distributed.collect_queue(args.queue, args.out)
-    except (distributed.QueueCorrupt, distributed.QueueIncomplete, ValueError) as error:
+        path, payload = distributed.collect_queue(args.queue, args.out, force=args.force)
+    except distributed.QueueBusy as error:
         print(str(error), file=sys.stderr)
         return 1
+    except (distributed.QueueCorrupt, distributed.QueueIncomplete, ValueError) as error:
+        print(str(error), file=sys.stderr)
+        _report_corrupt_tasks(args.queue)
+        return 1
+    if args.force:
+        status = distributed.queue_status(args.queue)
+        if status["leases"]:
+            print(
+                f"warning: collected with {status['leases']} live lease(s) outstanding; "
+                f"the still-running worker's append will be a harmless duplicate",
+                file=sys.stderr,
+            )
     name = payload["sweep"]["name"]
     return _print_sweep_summary(name, path, payload)
 

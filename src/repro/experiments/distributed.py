@@ -1,150 +1,120 @@
 """The queue-backed distributed runner (``enqueue`` / ``work`` / ``collect``).
 
 The PR 3 journal made run state externally visible; this module makes it the
-*shared ledger* of a filesystem queue, so any number of worker processes —
-on one machine or on many machines sharing a directory — can execute one
-sweep cooperatively and the merged result is testable to byte-identity
-against a single-process ``run``.
+*shared ledger* of a work queue, so any number of worker processes — on one
+machine or on many — can execute one sweep cooperatively and the merged
+result is testable to byte-identity against a single-process ``run``.
 
-Queue layout (``QUEUE_<name>/`` next to the BENCH files by default)::
+The coordination backend is pluggable (:mod:`repro.experiments.transports`):
+tasks, leases and shard records are JSON round-trippable, so the lifecycle
+here is written against the eight-operation
+:class:`~repro.experiments.transports.base.Transport` protocol — enqueue,
+claim, heartbeat, release, reclaim, shard append, shard enumerate, status —
+and two backends ship:
 
-    QUEUE_<name>/
-        spec.json                    the queue header: pinned SweepSpec
-        tasks/task-<index>.json      claimable work: one serialized RunSpec
-        leases/task-<index>.json@<worker>
-                                     claimed work; mtime is the heartbeat
-        shards/shard-<worker>.jsonl  per-worker journal (PR 3 line format)
+* the **directory** transport (``QUEUE_<name>/`` of task files, atomic
+  ``os.rename`` leases, mtime heartbeats, ``.jsonl`` shards) for any shared
+  filesystem, NFS included;
+* the **sqlite** transport (``QUEUE_<name>.sqlite``, WAL mode, ``BEGIN
+  IMMEDIATE`` claim transactions over a pending/running/done status table,
+  heartbeats as row-timestamp updates, shards as a records table keyed by
+  worker id) for single-file queues on one host.
 
-The coordination protocol uses nothing but atomic ``os.rename`` and mtimes:
+The lease protocol, for either backend:
 
-* **claim** — a worker renames ``tasks/task-i.json`` into ``leases/`` with
-  its worker id appended.  Rename of an existing source is atomic; exactly
-  one contender wins, the losers get ``FileNotFoundError`` and move on.
-* **heartbeat** — while executing, a daemon thread touches the lease file
-  every few seconds.  No wall-clock value ever enters the results; time is
-  only compared *observer-now vs lease-mtime* to judge staleness.
-* **reclaim** — a lease whose mtime is older than ``stale_after`` belongs
-  to a dead worker; any worker renames it back into ``tasks/``, making the
-  run claimable again.  If the dead worker had already journaled the record
-  (died between append and lease removal), the re-execution produces a
-  duplicate — harmless, because records are deterministic and ``collect``
-  deduplicates by ``(index, seed)``, preferring ok over error.
+* **claim** — exactly one contender wins each task; the losers move on.  A
+  task whose payload will not parse is *quarantined* at claim time (never
+  leased, reported once) — a worker must never die holding the lease of an
+  unknowable task, or the lease goes stale, the next worker reclaims it and
+  dies too, forever.
+* **heartbeat** — while executing, a daemon thread refreshes the lease's
+  liveness stamp every few seconds (default ``min(stale_after / 10, 5)``
+  seconds).  No wall-clock value ever enters the results; time is only
+  compared *observer-now vs lease-stamp* to judge staleness.
+* **reclaim** — a lease idle longer than ``stale_after`` belongs to a dead
+  worker; any worker returns it to the pending set.  If the dead worker had
+  already journaled the record (died between append and release), the
+  re-execution produces a duplicate — harmless, because records are
+  deterministic and ``collect`` deduplicates by ``(index, seed)``,
+  preferring ok over error.
 * **complete** — the worker appends the record to *its own* shard (no two
-  processes ever append to the same file) and removes its lease.
+  workers ever write the same shard) and releases the lease.
 
-``collect`` merges every shard through the validated journal readers
-(:func:`~repro.experiments.results.load_journal` per shard, then
-:func:`~repro.experiments.results.merge_journal_records`), refuses an
-incomplete queue loudly, and writes ``BENCH_<name>.json`` whose
-deterministic rows are byte-identical to a single-process ``run`` of the
-same spec (the ``rows_bytes`` canonical serialization; wall-times are
-machine-dependent by design and live outside the rows).
-
-NFS caveat: the protocol relies on ``rename`` atomicity (guaranteed by NFS
-within one directory) and on mtime comparisons between the *server's*
-timestamp and the *observer's* clock — pick ``stale_after`` generously
-(minutes, and always several multiples of the heartbeat interval) when
-clocks may skew.
+``collect`` merges every shard through the validated record streams
+(:meth:`~repro.experiments.transports.base.Transport.record_streams`, then
+:func:`~repro.experiments.results.merge_record_streams`), refuses an
+incomplete queue loudly, refuses quarantined-corrupt tasks loudly, refuses
+(without ``force``) a queue whose expansion is covered while a live lease is
+still outstanding, and writes ``BENCH_<name>.json`` whose deterministic rows
+are byte-identical to a single-process ``run`` of the same spec (the
+``rows_bytes`` canonical serialization; wall-times are machine-dependent by
+design and live outside the rows).
 """
 
 from __future__ import annotations
 
-import json
 import os
 import re
 import socket
 import threading
-import time
 import uuid
-from typing import Dict, List, Optional, Tuple
+import time
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.experiments.results import (
     RunRecord,
-    append_journal,
-    atomic_write_json,
     bench_payload,
-    load_journal,
-    merge_journal_records,
-    rewrite_journal,
+    merge_record_streams,
     write_bench,
-    write_journal_header,
-    _safe_name,
 )
 from repro.experiments.runner import execute_run_safe
 from repro.experiments.specs import RunSpec, SweepSpec
+from repro.experiments.transports import (
+    QUEUE_VERSION,
+    TRANSPORT_KINDS,
+    Claim,
+    CorruptTask,
+    QueueBusy,
+    QueueCorrupt,
+    QueueIncomplete,
+    Transport,
+    queue_db_path,
+    queue_dir,
+    resolve_transport,
+    shard_path,
+)
 
 __all__ = [
+    "QUEUE_VERSION",
+    "TRANSPORT_KINDS",
+    "Claim",
+    "CorruptTask",
+    "QueueBusy",
     "QueueCorrupt",
     "QueueIncomplete",
     "claim_next",
     "collect_queue",
+    "corrupt_report",
     "default_worker_id",
     "enqueue_sweep",
     "load_queue_spec",
+    "queue_db_path",
     "queue_dir",
     "queue_status",
     "reclaim_stale",
+    "resolve_transport",
     "shard_path",
     "work_queue",
 ]
 
-#: Queue layout version; bumped if the directory protocol ever changes so a
-#: worker from an older build refuses the queue rather than misreading it.
-QUEUE_VERSION = 1
-
-#: The lease filename separator between task name and worker id.  Worker ids
-#: are sanitised to never contain it, so parsing is unambiguous.
-_LEASE_SEP = "@"
+#: Heartbeats default to a tenth of the staleness threshold, capped at five
+#: seconds — "every few seconds", an order of magnitude inside the reclaim
+#: margin, however generously ``stale_after`` is chosen.
+HEARTBEAT_CAP_SECONDS = 5.0
 
 _WORKER_ID_BAD = re.compile(r"[^A-Za-z0-9_.-]")
 
-
-class QueueIncomplete(RuntimeError):
-    """``collect`` was asked to merge a queue that still has unfinished work."""
-
-    def __init__(self, queue: str, missing: List[Tuple[int, int]], tasks: int, leases: int):
-        self.queue = queue
-        self.missing = missing
-        shown = ", ".join(str(key) for key in missing[:5])
-        suffix = ", ..." if len(missing) > 5 else ""
-        super().__init__(
-            f"queue {queue!r} is incomplete: {len(missing)} run(s) have no journaled "
-            f"record ((index, seed) pairs {shown}{suffix}); {tasks} unclaimed task(s) "
-            f"and {leases} outstanding lease(s) remain — run more workers (or wait "
-            f"for stale leases to be reclaimed) before collecting"
-        )
-
-
-class QueueCorrupt(RuntimeError):
-    """A queue file (header or claimed task) could not be parsed.
-
-    A torn task file means ``enqueue`` was interrupted mid-write on a
-    filesystem without atomic rename semantics, or the file was edited;
-    either way the unit of work is unknowable and the queue must be
-    re-enqueued rather than guessed at.
-    """
-
-
-def queue_dir(out_dir: str, name: str) -> str:
-    """The queue directory of a sweep: ``<out_dir>/QUEUE_<name>``."""
-    return os.path.join(out_dir, f"QUEUE_{_safe_name(name)}")
-
-
-def _tasks_dir(queue: str) -> str:
-    return os.path.join(queue, "tasks")
-
-
-def _leases_dir(queue: str) -> str:
-    return os.path.join(queue, "leases")
-
-
-def _shards_dir(queue: str) -> str:
-    return os.path.join(queue, "shards")
-
-
-def shard_path(queue: str, worker_id: str) -> str:
-    """The journal shard a worker appends its completed records to."""
-    return os.path.join(_shards_dir(queue), f"shard-{worker_id}.jsonl")
+QueueLike = Union[str, Transport]
 
 
 def default_worker_id() -> str:
@@ -160,185 +130,119 @@ def _sanitize_worker_id(worker_id: str) -> str:
     return cleaned
 
 
-def _spec_path(queue: str) -> str:
-    return os.path.join(queue, "spec.json")
+def default_heartbeat(stale_after: float) -> float:
+    """The default heartbeat interval: ``min(stale_after / 10, 5.0)`` seconds."""
+    return min(stale_after / 10.0, HEARTBEAT_CAP_SECONDS)
 
 
-def load_queue_spec(queue: str) -> SweepSpec:
-    """The pinned sweep spec of a queue directory (validated header)."""
-    path = _spec_path(queue)
-    if not os.path.exists(path):
-        raise QueueCorrupt(f"{queue!r} has no spec.json header; not a sweep queue")
-    try:
-        with open(path, "r", encoding="utf-8") as handle:
-            header = json.load(handle)
-    except (json.JSONDecodeError, OSError) as error:
-        raise QueueCorrupt(f"queue header {path!r} is unreadable: {error}") from None
-    if header.get("queue_version") != QUEUE_VERSION:
-        raise QueueCorrupt(
-            f"queue {queue!r} has layout version {header.get('queue_version')!r}, "
-            f"expected {QUEUE_VERSION}; re-enqueue with this build"
-        )
-    try:
-        return SweepSpec.from_json_dict(header["sweep"])
-    except (KeyError, TypeError, ValueError) as error:
-        raise QueueCorrupt(f"queue header {path!r} does not pin a sweep spec: {error}") from None
+def validate_lease_timings(
+    stale_after: float, poll: float, heartbeat: Optional[float]
+) -> None:
+    """Reject lease timings that break the protocol, before any work starts.
 
-
-def _task_name(run: RunSpec) -> str:
-    return f"task-{run.index:06d}.json"
-
-
-def enqueue_sweep(spec: SweepSpec, queue: str) -> Dict[str, int]:
-    """Materialise the sweep's pending runs as claimable task files.
-
-    A fresh directory gets the full expansion.  Re-enqueueing an existing
-    *drained* queue (no tasks, no leases — e.g. after a `collect` refused
-    errored rows) materialises only the runs without an ok record in the
-    shards: errored and never-executed runs become claimable again, exactly
-    like ``run --resume`` retries journaled errors.  A queue with tasks or
-    leases still outstanding is refused — two enqueues racing each other
-    would double-issue work.
+    ``stale_after <= 0`` makes every live lease instantly reclaimable (the
+    queue thrashes, re-executing everything forever); ``poll <= 0`` spins;
+    a heartbeat at or beyond ``stale_after`` guarantees live leases go
+    stale between touches.
     """
-    spec_file = _spec_path(queue)
+    if stale_after <= 0:
+        raise ValueError(f"--stale-after must be positive, got {stale_after}")
+    if poll <= 0:
+        raise ValueError(f"--poll must be positive, got {poll}")
+    if heartbeat is not None and not 0 < heartbeat < stale_after:
+        raise ValueError(
+            f"--heartbeat must satisfy 0 < heartbeat < stale-after "
+            f"(got heartbeat={heartbeat}, stale-after={stale_after})"
+        )
+
+
+def load_queue_spec(queue: QueueLike) -> SweepSpec:
+    """The pinned sweep spec of a queue (validated header)."""
+    return resolve_transport(queue).load_spec()
+
+
+def queue_status(queue: QueueLike) -> Dict[str, int]:
+    """Pending task, outstanding lease, shard and quarantined-corrupt counts."""
+    return resolve_transport(queue).status()
+
+
+def corrupt_report(queue: QueueLike) -> List[CorruptTask]:
+    """The quarantined-corrupt tasks of a queue (empty for a healthy queue)."""
+    return resolve_transport(queue).corrupt_tasks()
+
+
+def claim_next(queue: QueueLike, worker_id: str):
+    """Atomically claim the lowest-numbered pending task, if any.
+
+    Returns a :class:`Claim` (``.run`` to execute, ``.handle`` for the
+    transport), a :class:`CorruptTask` when the claimed payload was
+    quarantined as unparseable, or ``None`` when nothing is claimable.
+    """
+    return resolve_transport(queue).claim_next(worker_id)
+
+
+def reclaim_stale(queue: QueueLike, stale_after: float) -> int:
+    """Return leases idle for over ``stale_after`` seconds to the pending set.
+
+    Staleness is judged by the lease's liveness stamp — refreshed by the
+    holder's heartbeat thread while it is alive, frozen the moment it dies.
+    Contending reclaimers race on the same atomic primitive (rename or
+    ``BEGIN IMMEDIATE`` transaction), so each stale lease is reclaimed
+    exactly once.  Returns the number reclaimed.
+    """
+    return resolve_transport(queue).reclaim_stale(stale_after)
+
+
+def enqueue_sweep(spec: SweepSpec, queue: QueueLike, kind: str = "auto") -> Dict[str, int]:
+    """Materialise the sweep's pending runs as claimable tasks.
+
+    A fresh queue gets the full expansion.  Re-enqueueing an existing
+    *drained* queue (no tasks, no leases — e.g. after a ``collect`` refused
+    errored rows) materialises only the runs without an ok record in the
+    shards: errored, quarantined-corrupt and never-executed runs become
+    claimable again, exactly like ``run --resume`` retries journaled
+    errors.  A queue with tasks or leases still outstanding is refused —
+    two enqueues racing each other would double-issue work.
+    """
+    transport = resolve_transport(queue, kind)
     done: Dict[Tuple[int, int], RunRecord] = {}
-    if os.path.exists(spec_file):
-        existing = load_queue_spec(queue)
+    if transport.exists():
+        existing = transport.load_spec()
         if existing != spec:
             raise ValueError(
-                f"queue {queue!r} already pins a different sweep configuration "
-                f"(name/seed/grid/sampler mismatch); use a fresh queue directory"
+                f"queue {transport.location!r} already pins a different sweep "
+                f"configuration (name/seed/grid/sampler mismatch); use a fresh queue"
             )
-        status = queue_status(queue)
+        status = transport.status()
         if status["tasks"] or status["leases"]:
             raise ValueError(
-                f"queue {queue!r} still has {status['tasks']} task(s) and "
+                f"queue {transport.location!r} still has {status['tasks']} task(s) and "
                 f"{status['leases']} lease(s) outstanding; drain it (or delete the "
-                f"directory) before enqueueing again"
+                f"queue) before enqueueing again"
             )
+        transport.clear_corrupt()
         done = {
             key: record
-            for key, record in merge_journal_records(_shard_files(queue), spec).items()
+            for key, record in merge_record_streams(
+                records for _, records in transport.record_streams(spec)
+            ).items()
             if record.status != "error"
         }
-    for sub in (_tasks_dir(queue), _leases_dir(queue), _shards_dir(queue)):
-        os.makedirs(sub, exist_ok=True)
-    if not os.path.exists(spec_file):
-        header = {"queue_version": QUEUE_VERSION, "sweep": spec.to_json_dict()}
-        atomic_write_json(spec_file, header)
+    else:
+        transport.initialise(spec)
     pending = [run for run in spec.expand() if (run.index, run.seed) not in done]
-    for run in pending:
-        # Tasks materialise atomically (the shared tmp + os.replace
-        # protocol) so a worker can never claim a half-written file — the
-        # "torn claim" failure mode exists only on filesystems without
-        # rename semantics, and there it is caught by QueueCorrupt at parse
-        # time rather than silently executed.
-        atomic_write_json(os.path.join(_tasks_dir(queue), _task_name(run)), run.to_json_dict())
+    transport.enqueue(pending)
     return {"enqueued": len(pending), "already_done": len(done)}
 
 
-def _shard_files(queue: str) -> List[str]:
-    shards = _shards_dir(queue)
-    if not os.path.isdir(shards):
-        return []
-    return sorted(
-        os.path.join(shards, name)
-        for name in os.listdir(shards)
-        if name.startswith("shard-") and name.endswith(".jsonl")
-    )
-
-
-def queue_status(queue: str) -> Dict[str, int]:
-    """Unclaimed task, outstanding lease and shard counts of a queue."""
-    def _count(path: str, predicate) -> int:
-        if not os.path.isdir(path):
-            return 0
-        return sum(1 for name in os.listdir(path) if predicate(name))
-
-    return {
-        "tasks": _count(_tasks_dir(queue), lambda name: name.endswith(".json")),
-        "leases": _count(_leases_dir(queue), lambda name: _LEASE_SEP in name),
-        "shards": len(_shard_files(queue)),
-    }
-
-
-def _parse_task(path: str) -> RunSpec:
-    try:
-        with open(path, "r", encoding="utf-8") as handle:
-            return RunSpec.from_json_dict(json.load(handle))
-    except (json.JSONDecodeError, KeyError, TypeError, ValueError, OSError) as error:
-        raise QueueCorrupt(
-            f"task file {path!r} is corrupt ({error}); re-enqueue the sweep"
-        ) from None
-
-
-def claim_next(queue: str, worker_id: str) -> Optional[Tuple[str, RunSpec]]:
-    """Atomically claim the lowest-numbered unclaimed task, if any.
-
-    Returns ``(lease_path, run)`` or ``None`` when no task could be
-    claimed.  The claim is the ``os.rename`` into ``leases/`` — atomic on
-    the source, so under contention exactly one worker wins each task and
-    the losers simply try the next file.
-    """
-    tasks = _tasks_dir(queue)
-    try:
-        names = sorted(name for name in os.listdir(tasks) if name.endswith(".json"))
-    except FileNotFoundError:
-        return None
-    for name in names:
-        lease = os.path.join(_leases_dir(queue), f"{name}{_LEASE_SEP}{worker_id}")
-        try:
-            os.rename(os.path.join(tasks, name), lease)
-        except FileNotFoundError:
-            continue  # another worker won this task; try the next one
-        # The rename preserves the *task's* enqueue-time mtime; the lease
-        # clock starts at the claim, so touch it now — otherwise any task
-        # claimed later than stale_after past enqueue would be born stale
-        # and reclaimed out from under its live holder.
-        os.utime(lease)
-        return lease, _parse_task(lease)
-    return None
-
-
-def reclaim_stale(queue: str, stale_after: float) -> int:
-    """Move leases older than ``stale_after`` seconds back into ``tasks/``.
-
-    Staleness is judged by the lease file's mtime — refreshed by the
-    holder's heartbeat thread while it is alive, frozen the moment it dies.
-    Contending reclaimers race on the same atomic rename, so each stale
-    lease is reclaimed exactly once.  Returns the number reclaimed.
-    """
-    leases = _leases_dir(queue)
-    try:
-        names = list(os.listdir(leases))
-    except FileNotFoundError:
-        return 0
-    reclaimed = 0
-    now = time.time()
-    for name in names:
-        if _LEASE_SEP not in name:
-            continue
-        path = os.path.join(leases, name)
-        try:
-            mtime = os.stat(path).st_mtime
-        except FileNotFoundError:
-            continue  # completed or reclaimed while we were scanning
-        if now - mtime <= stale_after:
-            continue
-        task_name = name.split(_LEASE_SEP, 1)[0]
-        try:
-            os.rename(path, os.path.join(_tasks_dir(queue), task_name))
-        except FileNotFoundError:
-            continue
-        reclaimed += 1
-    return reclaimed
-
-
 class _Heartbeat:
-    """A daemon thread touching the lease file while its task executes."""
+    """A daemon thread refreshing the lease's liveness stamp while its task
+    executes; stops quietly when the lease was reclaimed from under us
+    (collect dedups the re-execution)."""
 
-    def __init__(self, path: str, interval: float):
-        self._path = path
+    def __init__(self, transport: Transport, claim: Claim, interval: float):
+        self._transport = transport
+        self._claim = claim
         self._interval = max(float(interval), 0.01)
         self._stop = threading.Event()
         self._thread = threading.Thread(target=self._beat, daemon=True)
@@ -354,13 +258,14 @@ class _Heartbeat:
     def _beat(self) -> None:
         while not self._stop.wait(self._interval):
             try:
-                os.utime(self._path)
-            except OSError:
-                return  # lease reclaimed from under us; dedup handles the rest
+                if not self._transport.heartbeat(self._claim):
+                    return
+            except Exception:
+                return
 
 
 def work_queue(
-    queue: str,
+    queue: QueueLike,
     worker_id: Optional[str] = None,
     stale_after: float = 300.0,
     poll: float = 1.0,
@@ -372,78 +277,91 @@ def work_queue(
     The worker loop: claim a task, execute it through the shared
     :func:`~repro.experiments.runner.execute_run_safe` core (errors become
     ``status="error"`` records, exactly as in ``run``), append the record
-    to this worker's own journal shard, release the lease.  When nothing is
-    claimable the worker reclaims stale leases; while *live* leases are
-    outstanding it polls — the holder may die and its lease go stale — and
-    exits only once the queue has neither tasks nor leases.
+    to this worker's own shard, release the lease.  A claim that surfaces
+    a quarantined-corrupt task is counted and skipped — the queue keeps
+    draining.  When nothing is claimable the worker reclaims stale leases;
+    while *live* leases are outstanding it polls — the holder may die and
+    its lease go stale — and exits only once the queue has neither tasks
+    nor leases.
 
-    Returns ``{"executed": ..., "errors": ..., "reclaimed": ...}``.
+    Returns ``{"executed": ..., "errors": ..., "reclaimed": ..., "corrupt": ...}``.
     """
-    spec = load_queue_spec(queue)
+    validate_lease_timings(stale_after, poll, heartbeat)
+    transport = resolve_transport(queue)
+    spec = transport.load_spec()
     worker = _sanitize_worker_id(worker_id) if worker_id else default_worker_id()
-    shard = shard_path(queue, worker)
-    if os.path.exists(shard):
-        # An existing shard must pin the same spec (load_journal refuses a
-        # foreign header).  Compact it before appending: a crash may have
-        # left the file headerless (died inside the header write) or with a
-        # torn trailing fragment — appending after either would make every
-        # later record unreadable at collect time.
-        rewrite_journal(shard, spec, list(load_journal(shard, spec).values()))
-    else:
-        write_journal_header(shard, spec)
-    interval = heartbeat if heartbeat is not None else max(stale_after / 4.0, 0.05)
-    executed = errors = reclaimed = 0
+    transport.prepare_shard(spec, worker)
+    interval = heartbeat if heartbeat is not None else default_heartbeat(stale_after)
+    executed = errors = reclaimed = corrupt = 0
     while max_tasks is None or executed < max_tasks:
-        claim = claim_next(queue, worker)
+        claim = transport.claim_next(worker)
+        if isinstance(claim, CorruptTask):
+            corrupt += 1
+            continue
         if claim is None:
-            got_back = reclaim_stale(queue, stale_after)
+            got_back = transport.reclaim_stale(stale_after)
             if got_back:
                 reclaimed += got_back
                 continue
-            if queue_status(queue)["leases"]:
+            if transport.status()["leases"]:
                 time.sleep(poll)
                 continue
             break  # no tasks, no leases: the queue is drained
-        lease, run = claim
-        with _Heartbeat(lease, interval):
-            record = execute_run_safe(run)
-        append_journal(shard, record)
-        try:
-            os.remove(lease)
-        except FileNotFoundError:
-            pass  # reclaimed from under us; collect dedups the re-execution
+        with _Heartbeat(transport, claim, interval):
+            record = execute_run_safe(claim.run)
+        transport.append_record(spec, worker, record)
+        transport.release(claim)
         executed += 1
         if record.status == "error":
             errors += 1
-    return {"executed": executed, "errors": errors, "reclaimed": reclaimed}
+    return {"executed": executed, "errors": errors, "reclaimed": reclaimed, "corrupt": corrupt}
 
 
-def collect_queue(queue: str, out_dir: str = ".") -> Tuple[str, Dict[str, object]]:
+def collect_queue(
+    queue: QueueLike, out_dir: str = ".", force: bool = False
+) -> Tuple[str, Dict[str, object]]:
     """Merge the shards of a drained queue into ``BENCH_<name>.json``.
 
     Every shard is validated against the queue's pinned spec and merged by
     ``(index, seed)`` (ok preferred over error, see
-    :func:`~repro.experiments.results.merge_journal_records`).  The merge
+    :func:`~repro.experiments.results.merge_record_streams`).  The merge
     must cover the full expansion — an unclaimed task, an outstanding lease
     or a shard torn short of a record makes the queue *incomplete* and the
     collect refuses loudly (:class:`QueueIncomplete`) instead of writing a
-    silently partial BENCH.  The resulting deterministic rows are
-    byte-identical to a single-process ``run`` of the same spec.
+    silently partial BENCH.  Quarantined-corrupt tasks refuse the collect
+    too (:class:`QueueCorrupt` naming them — re-enqueue to reissue), and a
+    fully covered queue with live leases still outstanding (a worker
+    re-executing a reclaimed task) refuses with :class:`QueueBusy` unless
+    ``force`` — the covered rows are deterministic either way.  The
+    resulting rows are byte-identical to a single-process ``run``.
     """
-    spec = load_queue_spec(queue)
-    merged = merge_journal_records(_shard_files(queue), spec)
+    transport = resolve_transport(queue)
+    spec = transport.load_spec()
+    quarantined = transport.corrupt_tasks()
+    if quarantined:
+        shown = "; ".join(f"{item.task_id}: {item.reason}" for item in quarantined[:3])
+        suffix = "; ..." if len(quarantined) > 3 else ""
+        raise QueueCorrupt(
+            f"queue {transport.location!r} quarantined {len(quarantined)} corrupt "
+            f"task(s) ({shown}{suffix}); re-enqueue the sweep to reissue them"
+        )
+    merged = merge_record_streams(
+        records for _, records in transport.record_streams(spec)
+    )
     expected = {(run.index, run.seed) for run in spec.expand()}
     unexpected = sorted(set(merged) - expected)
     if unexpected:
         raise QueueCorrupt(
-            f"queue {queue!r} shards hold {len(unexpected)} record(s) outside the "
-            f"pinned sweep expansion (e.g. (index, seed) {unexpected[0]}); the "
-            f"shards were edited or mixed from another queue"
+            f"queue {transport.location!r} shards hold {len(unexpected)} record(s) "
+            f"outside the pinned sweep expansion (e.g. (index, seed) "
+            f"{unexpected[0]}); the shards were edited or mixed from another queue"
         )
     missing = sorted(expected - set(merged))
+    status = transport.status()
     if missing:
-        status = queue_status(queue)
-        raise QueueIncomplete(queue, missing, status["tasks"], status["leases"])
+        raise QueueIncomplete(transport.location, missing, status["tasks"], status["leases"])
+    if status["leases"] and not force:
+        raise QueueBusy(transport.location, status["leases"])
     records = list(merged.values())
     # workers=0 marks externally-executed sweeps (as journal payloads do);
     # the deterministic rows never depend on the worker topology.

@@ -32,7 +32,7 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.blackbox.oracle import QueryCounter
 
@@ -53,6 +53,7 @@ __all__ = [
     "load_journal_payload",
     "load_validated_bench",
     "merge_journal_records",
+    "merge_record_streams",
     "remove_journal",
     "resolve_bench",
     "rewrite_journal",
@@ -464,27 +465,40 @@ def load_journal(path: str, spec) -> Dict[Tuple[int, int], RunRecord]:
     return records
 
 
-def merge_journal_records(
-    paths: Sequence[str], spec
+def merge_record_streams(
+    streams: Iterable[Mapping[Tuple[int, int], RunRecord]],
 ) -> Dict[Tuple[int, int], RunRecord]:
-    """Merge several journal shards into one ``(index, seed)``-keyed ledger.
+    """Merge per-shard record streams into one ``(index, seed)``-keyed ledger.
 
-    The distributed queue produces one shard per worker; every shard's
-    header must pin the same sweep ``spec`` (validated per shard by
-    :func:`load_journal`).  Duplicate keys arise legitimately — a stale
-    lease reclaimed after its worker already journaled the record means two
-    workers executed the same run — and are resolved by preferring a
-    ``status="ok"`` record over an ``"error"`` one; two ok records of the
-    same run are byte-identical by the determinism guarantee, so which one
-    survives is immaterial.
+    A *stream* is one shard's records keyed by ``(index, seed)`` — however
+    the shard is stored (a ``.jsonl`` journal file, a database table slice);
+    the transport layer produces them already validated and deduplicated
+    last-wins in append order.  Duplicate keys across shards arise
+    legitimately — a stale lease reclaimed after its worker already
+    journaled the record means two workers executed the same run — and are
+    resolved by preferring a ``status="ok"`` record over an ``"error"`` one;
+    two ok records of the same run are byte-identical by the determinism
+    guarantee, so which one survives is immaterial.
     """
     merged: Dict[Tuple[int, int], RunRecord] = {}
-    for path in sorted(paths):
-        for key, record in load_journal(path, spec).items():
+    for stream in streams:
+        for key, record in stream.items():
             existing = merged.get(key)
             if existing is None or (existing.status == "error" and record.status != "error"):
                 merged[key] = record
     return merged
+
+
+def merge_journal_records(
+    paths: Sequence[str], spec
+) -> Dict[Tuple[int, int], RunRecord]:
+    """Merge several journal shard *files* into one ``(index, seed)`` ledger.
+
+    The path-based convenience form of :func:`merge_record_streams`: every
+    shard's header must pin the same sweep ``spec`` (validated per shard by
+    :func:`load_journal`).
+    """
+    return merge_record_streams(load_journal(path, spec) for path in sorted(paths))
 
 
 class LedgerDivergence(ValueError):

@@ -1,0 +1,84 @@
+"""Pluggable queue transports for the distributed runner.
+
+The :class:`~repro.experiments.transports.base.Transport` protocol is the
+seam between the ``enqueue``/``work``/``collect`` lifecycle (which lives
+in :mod:`repro.experiments.distributed`) and the coordination backend.
+Two backends ship — the shared-directory queue and a single-file SQLite
+database — and :func:`resolve_transport` picks one from a queue location:
+an explicit ``kind``, an existing directory vs an existing file with the
+SQLite magic header, or (for paths that do not exist yet) the file
+extension.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+from repro.experiments.transports.base import (
+    QUEUE_VERSION,
+    Claim,
+    CorruptTask,
+    QueueBusy,
+    QueueCorrupt,
+    QueueIncomplete,
+    Transport,
+)
+from repro.experiments.transports.directory import DirectoryTransport, queue_dir, shard_path
+from repro.experiments.transports.sqlite import SQLITE_MAGIC, SqliteTransport, queue_db_path
+
+__all__ = [
+    "QUEUE_VERSION",
+    "Claim",
+    "CorruptTask",
+    "DirectoryTransport",
+    "QueueBusy",
+    "QueueCorrupt",
+    "QueueIncomplete",
+    "SqliteTransport",
+    "TRANSPORT_KINDS",
+    "Transport",
+    "queue_db_path",
+    "queue_dir",
+    "resolve_transport",
+    "shard_path",
+]
+
+#: The selectable backend names (the CLI ``--transport`` choices).
+TRANSPORT_KINDS = ("dir", "sqlite")
+
+#: File extensions treated as SQLite queue databases when the path does
+#: not exist yet (an existing file is sniffed by its magic header instead).
+_SQLITE_SUFFIXES = (".sqlite", ".sqlite3", ".db")
+
+
+def resolve_transport(queue: Union[str, Transport], kind: str = "auto") -> Transport:
+    """Resolve a queue location (or a ready transport) to a transport.
+
+    ``kind`` may force a backend (``"dir"`` / ``"sqlite"``); ``"auto"``
+    detects one: an existing directory is a directory queue, an existing
+    file must carry the SQLite magic header, and a path that does not
+    exist yet is routed by its extension (``.sqlite``/``.sqlite3``/``.db``
+    mean SQLite, anything else a directory).
+    """
+    if isinstance(queue, Transport):
+        return queue
+    if kind == "dir":
+        return DirectoryTransport(queue)
+    if kind == "sqlite":
+        return SqliteTransport(queue)
+    if kind != "auto":
+        raise ValueError(f"unknown transport kind {kind!r}; expected one of {TRANSPORT_KINDS}")
+    if os.path.isdir(queue):
+        return DirectoryTransport(queue)
+    if os.path.isfile(queue):
+        with open(queue, "rb") as handle:
+            magic = handle.read(len(SQLITE_MAGIC))
+        if magic == SQLITE_MAGIC or (not magic and queue.endswith(_SQLITE_SUFFIXES)):
+            return SqliteTransport(queue)
+        raise QueueCorrupt(
+            f"{queue!r} is neither a queue directory nor a SQLite queue database"
+        )
+    if queue.endswith(_SQLITE_SUFFIXES):
+        return SqliteTransport(queue)
+    return DirectoryTransport(queue)

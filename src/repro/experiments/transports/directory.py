@@ -1,0 +1,309 @@
+"""The shared-directory queue transport (the original PR 5 protocol).
+
+Queue layout (``QUEUE_<name>/`` next to the BENCH files by default)::
+
+    QUEUE_<name>/
+        spec.json                    the queue header: pinned SweepSpec
+        tasks/task-<index>.json      claimable work: one serialized RunSpec
+        leases/task-<index>.json@<worker>
+                                     claimed work; mtime is the heartbeat
+        corrupt/task-<index>.json    quarantined unparseable tasks
+        shards/shard-<worker>.jsonl  per-worker journal (PR 3 line format)
+
+The coordination protocol uses nothing but atomic ``os.rename`` and mtimes:
+
+* **claim** — a worker renames ``tasks/task-i.json`` into ``leases/`` with
+  its worker id appended.  Rename of an existing source is atomic; exactly
+  one contender wins, the losers get ``FileNotFoundError`` and move on.
+  A claimed file that does not parse back into a ``RunSpec`` is renamed
+  into ``corrupt/`` (quarantined) instead of being executed or crashed
+  on — the worker never dies holding the lease of an unknowable task.
+* **heartbeat** — while executing, the lease file's mtime is touched
+  every few seconds.  No wall-clock value ever enters the results; time
+  is only compared *observer-now vs lease-mtime* to judge staleness.
+* **reclaim** — a lease whose mtime is older than ``stale_after`` belongs
+  to a dead worker; any worker renames it back into ``tasks/``, making the
+  run claimable again.  If the dead worker had already journaled the record
+  (died between append and lease removal), the re-execution produces a
+  duplicate — harmless, because records are deterministic and ``collect``
+  deduplicates by ``(index, seed)``, preferring ok over error.
+* **complete** — the worker appends the record to *its own* shard (no two
+  processes ever append to the same file) and removes its lease.
+
+NFS caveat: the protocol relies on ``rename`` atomicity (guaranteed by NFS
+within one directory) and on mtime comparisons between the *server's*
+timestamp and the *observer's* clock — pick ``stale_after`` generously
+(minutes, and always several multiples of the heartbeat interval) when
+clocks may skew.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.experiments.results import (
+    RunRecord,
+    append_journal,
+    atomic_write_json,
+    load_journal,
+    rewrite_journal,
+    write_journal_header,
+    _safe_name,
+)
+from repro.experiments.specs import RunSpec, SweepSpec
+from repro.experiments.transports.base import (
+    QUEUE_VERSION,
+    Claim,
+    CorruptTask,
+    QueueCorrupt,
+    Transport,
+)
+
+__all__ = ["DirectoryTransport", "queue_dir", "shard_path"]
+
+#: The lease filename separator between task name and worker id.  Worker ids
+#: are sanitised to never contain it, so parsing is unambiguous.
+_LEASE_SEP = "@"
+
+
+def queue_dir(out_dir: str, name: str) -> str:
+    """The queue directory of a sweep: ``<out_dir>/QUEUE_<name>``."""
+    return os.path.join(out_dir, f"QUEUE_{_safe_name(name)}")
+
+
+def shard_path(queue: str, worker_id: str) -> str:
+    """The journal shard a worker appends its completed records to."""
+    return os.path.join(queue, "shards", f"shard-{worker_id}.jsonl")
+
+
+def _task_name(run: RunSpec) -> str:
+    return f"task-{run.index:06d}.json"
+
+
+class DirectoryTransport(Transport):
+    """Atomic-rename leases and ``.jsonl`` shards in a shared directory."""
+
+    kind = "dir"
+
+    def __init__(self, queue: str):
+        self.location = queue
+
+    # -- layout helpers -----------------------------------------------------
+
+    @property
+    def _tasks(self) -> str:
+        return os.path.join(self.location, "tasks")
+
+    @property
+    def _leases(self) -> str:
+        return os.path.join(self.location, "leases")
+
+    @property
+    def _shards(self) -> str:
+        return os.path.join(self.location, "shards")
+
+    @property
+    def _corrupt(self) -> str:
+        return os.path.join(self.location, "corrupt")
+
+    @property
+    def _spec_file(self) -> str:
+        return os.path.join(self.location, "spec.json")
+
+    def _shard_files(self) -> List[str]:
+        if not os.path.isdir(self._shards):
+            return []
+        return sorted(
+            os.path.join(self._shards, name)
+            for name in os.listdir(self._shards)
+            if name.startswith("shard-") and name.endswith(".jsonl")
+        )
+
+    # -- queue lifecycle ----------------------------------------------------
+
+    def exists(self) -> bool:
+        return os.path.exists(self._spec_file)
+
+    def initialise(self, spec: SweepSpec) -> None:
+        for sub in (self._tasks, self._leases, self._shards):
+            os.makedirs(sub, exist_ok=True)
+        if not os.path.exists(self._spec_file):
+            header = {"queue_version": QUEUE_VERSION, "sweep": spec.to_json_dict()}
+            atomic_write_json(self._spec_file, header)
+
+    def load_spec(self) -> SweepSpec:
+        path = self._spec_file
+        if not os.path.exists(path):
+            raise QueueCorrupt(f"{self.location!r} has no spec.json header; not a sweep queue")
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                header = json.load(handle)
+        except (json.JSONDecodeError, OSError) as error:
+            raise QueueCorrupt(f"queue header {path!r} is unreadable: {error}") from None
+        if header.get("queue_version") != QUEUE_VERSION:
+            raise QueueCorrupt(
+                f"queue {self.location!r} has layout version "
+                f"{header.get('queue_version')!r}, expected {QUEUE_VERSION}; "
+                f"re-enqueue with this build"
+            )
+        try:
+            return SweepSpec.from_json_dict(header["sweep"])
+        except (KeyError, TypeError, ValueError) as error:
+            raise QueueCorrupt(
+                f"queue header {path!r} does not pin a sweep spec: {error}"
+            ) from None
+
+    # -- tasks and leases ---------------------------------------------------
+
+    def enqueue(self, runs: Sequence[RunSpec]) -> None:
+        for run in runs:
+            # Tasks materialise atomically (the shared tmp + os.replace
+            # protocol) so a worker can never claim a half-written file — the
+            # "torn claim" failure mode exists only on filesystems without
+            # rename semantics, and there it is quarantined at parse time
+            # rather than silently executed.
+            atomic_write_json(os.path.join(self._tasks, _task_name(run)), run.to_json_dict())
+
+    def claim_next(self, worker_id: str) -> Optional[Union[Claim, CorruptTask]]:
+        try:
+            names = sorted(name for name in os.listdir(self._tasks) if name.endswith(".json"))
+        except FileNotFoundError:
+            return None
+        for name in names:
+            lease = os.path.join(self._leases, f"{name}{_LEASE_SEP}{worker_id}")
+            try:
+                os.rename(os.path.join(self._tasks, name), lease)
+            except FileNotFoundError:
+                continue  # another worker won this task; try the next one
+            # The rename preserves the *task's* enqueue-time mtime; the lease
+            # clock starts at the claim, so touch it now — otherwise any task
+            # claimed later than stale_after past enqueue would be born stale
+            # and reclaimed out from under its live holder.
+            os.utime(lease)
+            try:
+                with open(lease, "r", encoding="utf-8") as handle:
+                    run = RunSpec.from_json_dict(json.load(handle))
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError, OSError) as error:
+                # Quarantine, never crash while holding the lease: a worker
+                # dying here would leave the lease to go stale, the next
+                # worker would reclaim and die too — an infinite ping-pong.
+                os.makedirs(self._corrupt, exist_ok=True)
+                reason = str(error)
+                os.rename(lease, os.path.join(self._corrupt, name))
+                self._write_corrupt_note(name, reason)
+                return CorruptTask(task_id=name, reason=reason)
+            return Claim(task_id=name, run=run, handle=lease)
+        return None
+
+    def _write_corrupt_note(self, task_name: str, reason: str) -> None:
+        note = os.path.join(self._corrupt, f"{task_name}.reason")
+        try:
+            atomic_write_json(note, {"task": task_name, "reason": reason})
+        except OSError:
+            pass  # the quarantined payload itself is the authoritative artifact
+
+    def heartbeat(self, claim: Claim) -> bool:
+        try:
+            os.utime(claim.handle)
+        except OSError:
+            return False  # lease reclaimed from under us; dedup handles the rest
+        return True
+
+    def release(self, claim: Claim) -> None:
+        try:
+            os.remove(claim.handle)
+        except FileNotFoundError:
+            pass  # reclaimed from under us; collect dedups the re-execution
+
+    def reclaim_stale(self, stale_after: float) -> int:
+        try:
+            names = list(os.listdir(self._leases))
+        except FileNotFoundError:
+            return 0
+        reclaimed = 0
+        now = time.time()
+        for name in names:
+            if _LEASE_SEP not in name:
+                continue
+            path = os.path.join(self._leases, name)
+            try:
+                mtime = os.stat(path).st_mtime
+            except FileNotFoundError:
+                continue  # completed or reclaimed while we were scanning
+            if now - mtime <= stale_after:
+                continue
+            task_name = name.split(_LEASE_SEP, 1)[0]
+            try:
+                os.rename(path, os.path.join(self._tasks, task_name))
+            except FileNotFoundError:
+                continue
+            reclaimed += 1
+        return reclaimed
+
+    # -- shards -------------------------------------------------------------
+
+    def prepare_shard(self, spec: SweepSpec, worker_id: str) -> None:
+        shard = shard_path(self.location, worker_id)
+        if os.path.exists(shard):
+            # An existing shard must pin the same spec (load_journal refuses a
+            # foreign header).  Compact it before appending: a crash may have
+            # left the file headerless (died inside the header write) or with a
+            # torn trailing fragment — appending after either would make every
+            # later record unreadable at collect time.
+            rewrite_journal(shard, spec, list(load_journal(shard, spec).values()))
+        else:
+            write_journal_header(shard, spec)
+
+    def append_record(self, spec: SweepSpec, worker_id: str, record: RunRecord) -> None:
+        append_journal(shard_path(self.location, worker_id), record)
+
+    def record_streams(self, spec: SweepSpec) -> List[Tuple[str, Mapping[Tuple[int, int], RunRecord]]]:
+        return [(path, load_journal(path, spec)) for path in self._shard_files()]
+
+    # -- status -------------------------------------------------------------
+
+    def status(self) -> Dict[str, int]:
+        def _count(path: str, predicate) -> int:
+            if not os.path.isdir(path):
+                return 0
+            return sum(1 for name in os.listdir(path) if predicate(name))
+
+        return {
+            "tasks": _count(self._tasks, lambda name: name.endswith(".json")),
+            "leases": _count(self._leases, lambda name: _LEASE_SEP in name),
+            "shards": len(self._shard_files()),
+            "corrupt": _count(self._corrupt, lambda name: name.endswith(".json")),
+        }
+
+    def corrupt_tasks(self) -> List[CorruptTask]:
+        if not os.path.isdir(self._corrupt):
+            return []
+        reports = []
+        for name in sorted(os.listdir(self._corrupt)):
+            if not name.endswith(".json"):
+                continue
+            reason = "unparseable task payload"
+            note = os.path.join(self._corrupt, f"{name}.reason")
+            try:
+                with open(note, "r", encoding="utf-8") as handle:
+                    reason = str(json.load(handle).get("reason", reason))
+            except (OSError, json.JSONDecodeError, AttributeError):
+                pass
+            reports.append(CorruptTask(task_id=name, reason=reason))
+        return reports
+
+    def clear_corrupt(self) -> int:
+        if not os.path.isdir(self._corrupt):
+            return 0
+        cleared = 0
+        for name in os.listdir(self._corrupt):
+            try:
+                os.remove(os.path.join(self._corrupt, name))
+            except FileNotFoundError:
+                continue
+            if name.endswith(".json"):
+                cleared += 1
+        return cleared

@@ -1,16 +1,21 @@
-"""The queue-backed distributed runner (PR 5).
+"""The queue-backed distributed runner (PR 5) and its transports (PR 6).
 
-The contract under test:
+The contract under test, for BOTH queue transports (the shared-directory
+queue and the single-file SQLite WAL database):
 
-* a ``RunSpec`` round-trips exactly through its JSON task-file form — the
+* a ``RunSpec`` round-trips exactly through its JSON task form — the
   descriptor *is* the unit of work a remote worker executes;
-* ``enqueue`` materialises the pending runs as atomically-written task
-  files; ``work`` processes claim them via atomic ``os.rename`` leases
-  (exactly-once under contention), heartbeat by mtime, reclaim stale
-  leases of dead workers, and journal to per-worker shards;
+* ``enqueue`` materialises the pending runs as claimable tasks; ``work``
+  processes claim them exactly-once under contention, heartbeat their
+  leases, reclaim stale leases of dead workers, and append to per-worker
+  shards;
 * ``collect`` merges the shards — dedup by ``(index, seed)``, ok preferred
   over error — and produces rows byte-identical to a single-process
   ``run`` of the same spec, refusing an incomplete queue loudly;
+* a task whose payload will not parse is *quarantined* at claim time and
+  reported once — never crash-looped through stale-reclaim ping-pong;
+* a fully covered queue with a live lease still outstanding refuses
+  ``collect`` (``--force`` overrides with deterministic rows);
 * killing a worker mid-task (the integration drill) loses nothing: the
   lease is reclaimed, a survivor re-executes the run, and the collected
   BENCH matches the uninterrupted baseline;
@@ -30,6 +35,7 @@ import pytest
 import repro
 from repro.experiments import (
     LedgerDivergence,
+    QueueBusy,
     QueueCorrupt,
     QueueIncomplete,
     RunRecord,
@@ -46,23 +52,37 @@ from repro.experiments import (
 from repro.experiments.cli import main as cli_main
 from repro.experiments.distributed import (
     claim_next,
+    corrupt_report,
+    default_heartbeat,
     load_queue_spec,
+    queue_db_path,
     queue_dir,
     queue_status,
     reclaim_stale,
     shard_path,
+    validate_lease_timings,
 )
 from repro.experiments.results import (
     append_journal,
     journal_path,
     load_journal,
+    merge_record_streams,
     rows_bytes,
     write_journal_header,
 )
 from repro.experiments.specs import RunSpec, SamplerSpec
+from repro.experiments.transports import (
+    Claim,
+    CorruptTask,
+    DirectoryTransport,
+    SqliteTransport,
+    resolve_transport,
+)
 
 SEED = 20010202
 SRC_DIR = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+TRANSPORTS = ["dir", "sqlite"]
 
 
 def tiny_spec(name="queued", **kwargs):
@@ -77,6 +97,48 @@ def faulty_spec(name="queued-faulty", **kwargs):
     return SweepSpec.from_grid(
         name, "diagnostic_fault", {"n": [8], "fail": [False, True]}, **defaults
     )
+
+
+def make_queue(tmp_path, kind, spec):
+    """The queue location of ``spec`` for a transport kind under ``tmp_path``."""
+    if kind == "dir":
+        return queue_dir(str(tmp_path), spec.name)
+    return queue_db_path(str(tmp_path), spec.name)
+
+
+def force_stale(queue, kind, age=900.0):
+    """Backdate every live lease's liveness stamp by ``age`` seconds — the
+    holder 'died' that long ago and its heartbeat froze."""
+    if kind == "dir":
+        leases = os.path.join(queue, "leases")
+        stamp = time.time() - age
+        for name in os.listdir(leases):
+            os.utime(os.path.join(leases, name), (stamp, stamp))
+    else:
+        resolve_transport(queue)._connect().execute(
+            "UPDATE tasks SET heartbeat_at = heartbeat_at - ? WHERE status = 'running'",
+            (age,),
+        )
+
+
+def plant_corrupt_task(queue, kind):
+    """Corrupt the lowest-indexed pending task's payload (torn mid-write /
+    hand-edited)."""
+    if kind == "dir":
+        tasks = os.path.join(queue, "tasks")
+        task = os.path.join(tasks, sorted(os.listdir(tasks))[0])
+        with open(task, "w", encoding="utf-8") as handle:
+            handle.write('{"sweep": "queued", "ind')  # torn mid-write
+    else:
+        resolve_transport(queue)._connect().execute(
+            "UPDATE tasks SET run_json = '{\"torn' "
+            "WHERE idx = (SELECT MIN(idx) FROM tasks WHERE status = 'pending')"
+        )
+
+
+@pytest.fixture(params=TRANSPORTS)
+def kind(request):
+    return request.param
 
 
 class TestSpecSerialization:
@@ -108,14 +170,49 @@ class TestSpecSerialization:
             assert SamplerSpec.from_json_dict(sampler.to_json_dict()) == sampler
 
 
-class TestEnqueue:
-    def test_enqueue_materialises_every_run_as_a_task(self, tmp_path):
+class TestTransportResolution:
+    def test_explicit_kinds(self, tmp_path):
+        assert isinstance(resolve_transport(str(tmp_path / "q"), "dir"), DirectoryTransport)
+        assert isinstance(resolve_transport(str(tmp_path / "q.sqlite"), "sqlite"), SqliteTransport)
+
+    def test_auto_detects_an_existing_directory(self, tmp_path):
         spec = tiny_spec()
         queue = queue_dir(str(tmp_path), spec.name)
-        counts = enqueue_sweep(spec, queue)
+        enqueue_sweep(spec, queue, kind="dir")
+        assert isinstance(resolve_transport(queue), DirectoryTransport)
+
+    def test_auto_detects_an_existing_database_by_magic(self, tmp_path):
+        spec = tiny_spec()
+        # deliberately no .sqlite extension: detection must sniff the header
+        queue = str(tmp_path / "queue-without-extension")
+        enqueue_sweep(spec, queue, kind="sqlite")
+        assert isinstance(resolve_transport(queue), SqliteTransport)
+        assert load_queue_spec(queue) == spec
+
+    def test_auto_routes_missing_paths_by_extension(self, tmp_path):
+        assert isinstance(resolve_transport(str(tmp_path / "q.sqlite")), SqliteTransport)
+        assert isinstance(resolve_transport(str(tmp_path / "q.db")), SqliteTransport)
+        assert isinstance(resolve_transport(str(tmp_path / "QUEUE_q")), DirectoryTransport)
+
+    def test_auto_refuses_a_foreign_file(self, tmp_path):
+        path = tmp_path / "not-a-queue.sqlite"
+        path.write_text("just some text")
+        with pytest.raises(QueueCorrupt, match="neither a queue directory nor"):
+            resolve_transport(str(path))
+
+    def test_transport_instances_pass_through(self, tmp_path):
+        transport = DirectoryTransport(str(tmp_path / "q"))
+        assert resolve_transport(transport) is transport
+
+
+class TestEnqueue:
+    def test_enqueue_materialises_every_run_as_a_task(self, tmp_path, kind):
+        spec = tiny_spec()
+        queue = make_queue(tmp_path, kind, spec)
+        counts = enqueue_sweep(spec, queue, kind=kind)
         assert counts == {"enqueued": 4, "already_done": 0}
         status = queue_status(queue)
-        assert status == {"tasks": 4, "leases": 0, "shards": 0}
+        assert status == {"tasks": 4, "leases": 0, "shards": 0, "corrupt": 0}
         assert load_queue_spec(queue) == spec
         # tasks parse back to the exact expansion
         runs = []
@@ -123,27 +220,28 @@ class TestEnqueue:
             claim = claim_next(queue, "w0")
             if claim is None:
                 break
-            runs.append(claim[1])
+            assert isinstance(claim, Claim)
+            runs.append(claim.run)
         assert runs == spec.expand()
 
-    def test_enqueue_refuses_a_busy_queue(self, tmp_path):
+    def test_enqueue_refuses_a_busy_queue(self, tmp_path, kind):
         spec = tiny_spec()
-        queue = queue_dir(str(tmp_path), spec.name)
-        enqueue_sweep(spec, queue)
+        queue = make_queue(tmp_path, kind, spec)
+        enqueue_sweep(spec, queue, kind=kind)
         with pytest.raises(ValueError, match="outstanding"):
             enqueue_sweep(spec, queue)
 
-    def test_enqueue_refuses_a_different_spec(self, tmp_path):
+    def test_enqueue_refuses_a_different_spec(self, tmp_path, kind):
         spec = tiny_spec()
-        queue = queue_dir(str(tmp_path), spec.name)
-        enqueue_sweep(spec, queue)
+        queue = make_queue(tmp_path, kind, spec)
+        enqueue_sweep(spec, queue, kind=kind)
         with pytest.raises(ValueError, match="different sweep configuration"):
             enqueue_sweep(spec.with_overrides(seed=7), queue)
 
-    def test_reenqueue_of_a_drained_queue_retries_errors_only(self, tmp_path):
+    def test_reenqueue_of_a_drained_queue_retries_errors_only(self, tmp_path, kind):
         spec = faulty_spec()
-        queue = queue_dir(str(tmp_path), spec.name)
-        enqueue_sweep(spec, queue)
+        queue = make_queue(tmp_path, kind, spec)
+        enqueue_sweep(spec, queue, kind=kind)
         work_queue(queue, worker_id="w0")
         counts = enqueue_sweep(spec, queue)  # 2 ok rows stay done, 2 errors retry
         assert counts == {"enqueued": 2, "already_done": 2}
@@ -152,29 +250,43 @@ class TestEnqueue:
 
 
 class TestClaimAndLease:
-    def test_claim_is_exactly_once(self, tmp_path):
+    def test_claim_is_exactly_once(self, tmp_path, kind):
         spec = tiny_spec()
-        queue = queue_dir(str(tmp_path), spec.name)
-        enqueue_sweep(spec, queue)
+        queue = make_queue(tmp_path, kind, spec)
+        enqueue_sweep(spec, queue, kind=kind)
         seen = set()
         for worker in ("a", "b", "a", "b", "a"):
             claim = claim_next(queue, worker)
             if claim is None:
                 break
-            lease, run = claim
-            assert os.path.exists(lease)
-            assert run.index not in seen
-            seen.add(run.index)
+            assert claim.run.index not in seen
+            seen.add(claim.run.index)
         assert seen == {0, 1, 2, 3}
         assert claim_next(queue, "c") is None
 
-    def test_fresh_leases_are_not_reclaimed(self, tmp_path):
+    def test_fresh_leases_are_not_reclaimed(self, tmp_path, kind):
         spec = tiny_spec()
-        queue = queue_dir(str(tmp_path), spec.name)
-        enqueue_sweep(spec, queue)
+        queue = make_queue(tmp_path, kind, spec)
+        enqueue_sweep(spec, queue, kind=kind)
         claim_next(queue, "w0")
         assert reclaim_stale(queue, stale_after=60.0) == 0
         assert queue_status(queue)["leases"] == 1
+
+    def test_stale_lease_is_reclaimed_and_reexecuted(self, tmp_path, kind):
+        spec = tiny_spec()
+        queue = make_queue(tmp_path, kind, spec)
+        enqueue_sweep(spec, queue, kind=kind)
+        claim_next(queue, "dead")
+        force_stale(queue, kind)  # the holder died; its heartbeat froze
+        assert reclaim_stale(queue, stale_after=10.0) == 1
+        status = queue_status(queue)
+        assert (status["tasks"], status["leases"]) == (4, 0)
+        # a live worker drains everything, including the reclaimed run
+        stats = work_queue(queue, worker_id="alive")
+        assert stats["executed"] == 4
+        _, payload = collect_queue(queue, str(tmp_path))
+        _, baseline = run_sweep(spec, workers=1, out_dir=None)
+        assert rows_bytes(payload) == rows_bytes(baseline)
 
     def test_lease_clock_starts_at_the_claim_not_at_enqueue(self, tmp_path):
         # os.rename preserves the task file's mtime, so without the
@@ -190,32 +302,6 @@ class TestClaimAndLease:
         claim_next(queue, "slowpoke")
         assert reclaim_stale(queue, stale_after=60.0) == 0
         assert queue_status(queue)["leases"] == 1
-
-    def test_stale_lease_is_reclaimed_and_reexecuted(self, tmp_path):
-        spec = tiny_spec()
-        queue = queue_dir(str(tmp_path), spec.name)
-        enqueue_sweep(spec, queue)
-        lease, run = claim_next(queue, "dead")
-        stamp = time.time() - 900
-        os.utime(lease, (stamp, stamp))  # the holder died; its heartbeat froze
-        assert reclaim_stale(queue, stale_after=10.0) == 1
-        assert queue_status(queue) == {"tasks": 4, "leases": 0, "shards": 0}
-        # a live worker drains everything, including the reclaimed run
-        stats = work_queue(queue, worker_id="alive")
-        assert stats["executed"] == 4
-        _, payload = collect_queue(queue, str(tmp_path))
-        _, baseline = run_sweep(spec, workers=1, out_dir=None)
-        assert rows_bytes(payload) == rows_bytes(baseline)
-
-    def test_torn_task_file_is_refused_as_corrupt(self, tmp_path):
-        spec = tiny_spec()
-        queue = queue_dir(str(tmp_path), spec.name)
-        enqueue_sweep(spec, queue)
-        task = os.path.join(queue, "tasks", sorted(os.listdir(os.path.join(queue, "tasks")))[0])
-        with open(task, "w", encoding="utf-8") as handle:
-            handle.write('{"sweep": "queued", "ind')  # torn mid-write
-        with pytest.raises(QueueCorrupt, match="corrupt"):
-            work_queue(queue, worker_id="w0")
 
     def test_restarted_worker_recovers_a_truncated_shard(self, tmp_path):
         # a crash inside the header write leaves a zero-byte shard; a
@@ -257,23 +343,184 @@ class TestClaimAndLease:
             work_queue(queue, worker_id="w0")
 
 
-class TestWorkAndCollect:
-    def test_single_worker_queue_matches_run(self, tmp_path):
+class TestCorruptQuarantine:
+    """The corrupt-task lease bugfix: quarantine instead of the old
+    crash-holding-the-lease → stale-reclaim → crash-again ping-pong."""
+
+    def test_corrupt_task_is_quarantined_and_queue_drains(self, tmp_path, kind):
         spec = tiny_spec()
-        queue = queue_dir(str(tmp_path), spec.name)
-        enqueue_sweep(spec, queue)
+        queue = make_queue(tmp_path, kind, spec)
+        enqueue_sweep(spec, queue, kind=kind)
+        plant_corrupt_task(queue, kind)
+        stats = work_queue(queue, worker_id="w0")
+        # the queue drained around the corrupt task instead of crashing
+        assert stats["executed"] == 3
+        assert stats["corrupt"] == 1
+        status = queue_status(queue)
+        assert status["tasks"] == 0
+        assert status["leases"] == 0
+        assert status["corrupt"] == 1
+        reports = corrupt_report(queue)
+        assert len(reports) == 1
+        assert isinstance(reports[0], CorruptTask)
+        assert reports[0].reason
+
+    def test_claim_next_surfaces_the_quarantine(self, tmp_path, kind):
+        spec = tiny_spec()
+        queue = make_queue(tmp_path, kind, spec)
+        enqueue_sweep(spec, queue, kind=kind)
+        plant_corrupt_task(queue, kind)
+        claim = claim_next(queue, "w0")
+        assert isinstance(claim, CorruptTask)
+        # the quarantined task is out of the claimable set: no lease exists,
+        # so no reclaim ping-pong can ever start
+        assert queue_status(queue)["leases"] == 0
+        assert reclaim_stale(queue, stale_after=0.001) == 0
+        nxt = claim_next(queue, "w0")
+        assert isinstance(nxt, Claim)
+
+    def test_collect_refuses_a_quarantined_queue_naming_tasks(self, tmp_path, kind):
+        spec = tiny_spec()
+        queue = make_queue(tmp_path, kind, spec)
+        enqueue_sweep(spec, queue, kind=kind)
+        plant_corrupt_task(queue, kind)
+        work_queue(queue, worker_id="w0")
+        with pytest.raises(QueueCorrupt, match="quarantined 1 corrupt task"):
+            collect_queue(queue, str(tmp_path))
+
+    def test_reenqueue_reissues_quarantined_tasks(self, tmp_path, kind):
+        spec = tiny_spec()
+        queue = make_queue(tmp_path, kind, spec)
+        enqueue_sweep(spec, queue, kind=kind)
+        plant_corrupt_task(queue, kind)
+        work_queue(queue, worker_id="w0")
+        counts = enqueue_sweep(spec, queue)
+        assert counts == {"enqueued": 1, "already_done": 3}
+        assert corrupt_report(queue) == []
+        work_queue(queue, worker_id="w1")
+        _, payload = collect_queue(queue, str(tmp_path))
+        _, baseline = run_sweep(spec, workers=1, out_dir=None)
+        assert rows_bytes(payload) == rows_bytes(baseline)
+
+    def test_work_cli_reports_quarantine_once_and_exits_nonzero(self, tmp_path, kind, capsys):
+        spec = tiny_spec()
+        queue = make_queue(tmp_path, kind, spec)
+        enqueue_sweep(spec, queue, kind=kind)
+        plant_corrupt_task(queue, kind)
+        assert cli_main(["work", queue, "--worker-id", "w0"]) == 1
+        captured = capsys.readouterr()
+        assert "executed 3 task(s)" in captured.out
+        assert captured.err.count("CORRUPT:") == 1
+        assert "re-enqueue" in captured.err
+
+
+class TestCollectBusy:
+    """The collect-with-live-lease bugfix: a covered expansion plus an
+    outstanding lease (a reclaim-after-append duplicate still executing)
+    refuses collect unless forced."""
+
+    def _covered_queue_with_live_lease(self, tmp_path, kind):
+        spec = tiny_spec()
+        queue = make_queue(tmp_path, kind, spec)
+        enqueue_sweep(spec, queue, kind=kind)
+        work_queue(queue, worker_id="w0")
+        # simulate the reclaim-after-append state: the run's record is in
+        # w0's shard, but a re-issued task for it is claimed and live
+        resolve_transport(queue).enqueue([spec.expand()[0]])
+        claim = claim_next(queue, "w-live")
+        assert isinstance(claim, Claim)
+        return spec, queue
+
+    def test_collect_refuses_while_a_lease_is_live(self, tmp_path, kind):
+        _, queue = self._covered_queue_with_live_lease(tmp_path, kind)
+        with pytest.raises(QueueBusy, match="live lease"):
+            collect_queue(queue, str(tmp_path))
+
+    def test_force_collects_the_covered_rows(self, tmp_path, kind):
+        spec, queue = self._covered_queue_with_live_lease(tmp_path, kind)
+        _, payload = collect_queue(queue, str(tmp_path), force=True)
+        _, baseline = run_sweep(spec, workers=1, out_dir=None)
+        assert rows_bytes(payload) == rows_bytes(baseline)
+
+    def test_collect_cli_force_warns_but_succeeds(self, tmp_path, kind, capsys):
+        _, queue = self._covered_queue_with_live_lease(tmp_path, kind)
+        assert cli_main(["collect", queue, "--out", str(tmp_path)]) == 1
+        assert "live lease" in capsys.readouterr().err
+        assert cli_main(["collect", queue, "--out", str(tmp_path), "--force"]) == 0
+        assert "warning: collected with 1 live lease(s)" in capsys.readouterr().err
+
+    def test_incomplete_beats_busy_in_the_error_report(self, tmp_path, kind):
+        # with records actually missing the error must say *incomplete*
+        # (run more workers), not busy (wait) — the actionable message wins
+        spec = tiny_spec()
+        queue = make_queue(tmp_path, kind, spec)
+        enqueue_sweep(spec, queue, kind=kind)
+        claim = claim_next(queue, "w-live")
+        assert isinstance(claim, Claim)
+        with pytest.raises(QueueIncomplete, match="1 outstanding lease"):
+            collect_queue(queue, str(tmp_path))
+
+
+class TestLeaseTimings:
+    """The heartbeat-default bugfix: 'every few seconds', never a quarter of
+    the staleness threshold; degenerate timings rejected up front."""
+
+    def test_default_heartbeat_is_a_tenth_capped_at_five_seconds(self):
+        assert default_heartbeat(300.0) == 5.0  # was 75 s (stale/4)
+        assert default_heartbeat(20.0) == 2.0
+        assert default_heartbeat(1.2) == pytest.approx(0.12)
+
+    def test_validate_rejects_degenerate_timings(self):
+        with pytest.raises(ValueError, match="stale-after must be positive"):
+            validate_lease_timings(0.0, 1.0, None)
+        with pytest.raises(ValueError, match="stale-after must be positive"):
+            validate_lease_timings(-5.0, 1.0, None)
+        with pytest.raises(ValueError, match="poll must be positive"):
+            validate_lease_timings(300.0, 0.0, None)
+        with pytest.raises(ValueError, match="heartbeat"):
+            validate_lease_timings(300.0, 1.0, 300.0)  # heartbeat == stale
+        with pytest.raises(ValueError, match="heartbeat"):
+            validate_lease_timings(300.0, 1.0, 0.0)
+        validate_lease_timings(300.0, 1.0, 5.0)  # sane values pass
+
+    def test_work_queue_rejects_zero_stale_after(self, tmp_path, kind):
+        spec = tiny_spec()
+        queue = make_queue(tmp_path, kind, spec)
+        enqueue_sweep(spec, queue, kind=kind)
+        with pytest.raises(ValueError, match="stale-after"):
+            work_queue(queue, worker_id="w0", stale_after=0.0)
+
+    def test_work_cli_rejects_nonpositive_timings_at_parse_time(self, tmp_path, capsys):
+        for flags in (["--stale-after", "0"], ["--poll", "-1"], ["--heartbeat", "0"]):
+            with pytest.raises(SystemExit):
+                cli_main(["work", str(tmp_path)] + flags)
+            assert "positive" in capsys.readouterr().err
+
+    def test_work_cli_rejects_heartbeat_at_or_past_stale_after(self, tmp_path, kind, capsys):
+        spec = tiny_spec()
+        queue = make_queue(tmp_path, kind, spec)
+        enqueue_sweep(spec, queue, kind=kind)
+        assert cli_main(["work", queue, "--stale-after", "10", "--heartbeat", "10"]) == 1
+        assert "heartbeat" in capsys.readouterr().err
+
+
+class TestWorkAndCollect:
+    def test_single_worker_queue_matches_run(self, tmp_path, kind):
+        spec = tiny_spec()
+        queue = make_queue(tmp_path, kind, spec)
+        enqueue_sweep(spec, queue, kind=kind)
         stats = work_queue(queue, worker_id="solo")
-        assert stats == {"executed": 4, "errors": 0, "reclaimed": 0}
+        assert stats == {"executed": 4, "errors": 0, "reclaimed": 0, "corrupt": 0}
         path, payload = collect_queue(queue, str(tmp_path))
         _, baseline = run_sweep(spec, workers=1, out_dir=None)
         assert rows_bytes(payload) == rows_bytes(baseline)
         assert rows_bytes(load_bench(path)) == rows_bytes(baseline)
 
-    def test_two_alternating_workers_match_run(self, tmp_path):
+    def test_two_alternating_workers_match_run(self, tmp_path, kind):
         spec = tiny_spec()
-        queue = queue_dir(str(tmp_path), spec.name)
-        enqueue_sweep(spec, queue)
-        # interleave two workers one task at a time: four shards-wise splits
+        queue = make_queue(tmp_path, kind, spec)
+        enqueue_sweep(spec, queue, kind=kind)
+        # interleave two workers one task at a time: four shard-wise splits
         executed = 0
         while executed < 4:
             for worker in ("w1", "w2"):
@@ -283,10 +530,10 @@ class TestWorkAndCollect:
         _, baseline = run_sweep(spec, workers=1, out_dir=None)
         assert rows_bytes(payload) == rows_bytes(baseline)
 
-    def test_error_rows_flow_through_the_queue(self, tmp_path):
+    def test_error_rows_flow_through_the_queue(self, tmp_path, kind):
         spec = faulty_spec()
-        queue = queue_dir(str(tmp_path), spec.name)
-        enqueue_sweep(spec, queue)
+        queue = make_queue(tmp_path, kind, spec)
+        enqueue_sweep(spec, queue, kind=kind)
         stats = work_queue(queue, worker_id="w0")
         assert stats["executed"] == 4 and stats["errors"] == 2
         _, payload = collect_queue(queue, str(tmp_path))
@@ -294,24 +541,24 @@ class TestWorkAndCollect:
         assert rows_bytes(payload) == rows_bytes(baseline)
         assert payload["aggregate"]["errors"] == 2
 
-    def test_collect_refuses_an_incomplete_queue(self, tmp_path):
+    def test_collect_refuses_an_incomplete_queue(self, tmp_path, kind):
         spec = tiny_spec()
-        queue = queue_dir(str(tmp_path), spec.name)
-        enqueue_sweep(spec, queue)
+        queue = make_queue(tmp_path, kind, spec)
+        enqueue_sweep(spec, queue, kind=kind)
         work_queue(queue, worker_id="w0", max_tasks=2)
         with pytest.raises(QueueIncomplete, match=r"2 run\(s\) have no journaled record"):
             collect_queue(queue, str(tmp_path))
 
-    def test_collect_refuses_foreign_shard_records(self, tmp_path):
+    def test_collect_refuses_foreign_shard_records(self, tmp_path, kind):
         spec = tiny_spec()
-        queue = queue_dir(str(tmp_path), spec.name)
-        enqueue_sweep(spec, queue)
+        queue = make_queue(tmp_path, kind, spec)
+        enqueue_sweep(spec, queue, kind=kind)
         work_queue(queue, worker_id="w0")
         rogue = RunRecord(
             sweep=spec.name, index=99, family="dihedral_rotation", params={"n": 8},
             repeat=0, seed=1, strategy="auto", success=True, generators=[], query_report={},
         )
-        append_journal(shard_path(queue, "w0"), rogue)
+        resolve_transport(queue).append_record(spec, "w0", rogue)
         with pytest.raises(QueueCorrupt, match="outside the pinned sweep expansion"):
             collect_queue(queue, str(tmp_path))
 
@@ -328,31 +575,82 @@ class TestWorkAndCollect:
         with pytest.raises(QueueIncomplete, match=r"1 run\(s\)"):
             collect_queue(queue, str(tmp_path))
 
-    def test_duplicate_records_across_shards_dedup_preferring_ok(self, tmp_path):
+    def test_duplicate_records_across_shards_dedup_preferring_ok(self, tmp_path, kind):
         spec = faulty_spec()
-        queue = queue_dir(str(tmp_path), spec.name)
-        enqueue_sweep(spec, queue)
+        queue = make_queue(tmp_path, kind, spec)
+        enqueue_sweep(spec, queue, kind=kind)
         work_queue(queue, worker_id="w0")
         # a reclaimed-after-append duplicate: the same runs journaled again
         # by a second worker, with one legitimate error row flipped to ok —
         # the merge must prefer the ok record wherever one exists
-        records = load_journal(shard_path(queue, "w0"), spec)
-        duplicate = shard_path(queue, "w1")
-        write_journal_header(duplicate, spec)
+        transport = resolve_transport(queue)
+        streams = dict(transport.record_streams(spec))
+        (records,) = streams.values()
         import dataclasses
 
+        transport.prepare_shard(spec, "w1")
         for key, record in sorted(records.items()):
             if record.status == "error":
                 record = dataclasses.replace(record, status="ok", error=None, success=True)
-            append_journal(duplicate, record)
-        merged = merge_journal_records([shard_path(queue, "w0"), duplicate], spec)
+            transport.append_record(spec, "w1", record)
+        streams = [recs for _, recs in transport.record_streams(spec)]
+        merged = merge_record_streams(streams)
         assert len(merged) == 4
         assert all(record.status == "ok" for record in merged.values())
         # and the reverse shard order makes no difference
-        reversed_merge = merge_journal_records([duplicate, shard_path(queue, "w0")], spec)
+        reversed_merge = merge_record_streams(reversed(streams))
         assert {k: v.row() for k, v in merged.items()} == {
             k: v.row() for k, v in reversed_merge.items()
         }
+
+
+class TestSqliteSpecifics:
+    def test_database_runs_in_wal_mode(self, tmp_path):
+        spec = tiny_spec()
+        queue = queue_db_path(str(tmp_path), spec.name)
+        enqueue_sweep(spec, queue, kind="sqlite")
+        (mode,) = resolve_transport(queue)._connect().execute("PRAGMA journal_mode").fetchone()
+        assert mode == "wal"
+
+    def test_record_rows_store_journal_identical_lines(self, tmp_path):
+        # the byte-identity contract rests on both transports serializing
+        # records to the exact same sorted-key JSON form
+        spec = tiny_spec()
+        queue = queue_db_path(str(tmp_path), spec.name)
+        enqueue_sweep(spec, queue, kind="sqlite")
+        work_queue(queue, worker_id="w0", max_tasks=1)
+        (line,) = resolve_transport(queue)._connect().execute(
+            "SELECT record_json FROM records"
+        ).fetchone()
+        record = RunRecord.from_json_dict(json.loads(line))
+        assert json.dumps(record.to_json_dict(), sort_keys=True) == line
+
+    def test_wrong_layout_version_is_refused(self, tmp_path):
+        spec = tiny_spec()
+        queue = queue_db_path(str(tmp_path), spec.name)
+        enqueue_sweep(spec, queue, kind="sqlite")
+        resolve_transport(queue)._connect().execute(
+            "UPDATE meta SET value = '999' WHERE key = 'queue_version'"
+        )
+        with pytest.raises(QueueCorrupt, match="layout version"):
+            load_queue_spec(queue)
+
+    def test_unparseable_record_row_stops_that_shard_stream(self, tmp_path):
+        # mirror of the journal torn-line contract: a hand-edited record row
+        # ends that shard at the last good record instead of crashing
+        spec = tiny_spec()
+        queue = queue_db_path(str(tmp_path), spec.name)
+        enqueue_sweep(spec, queue, kind="sqlite")
+        work_queue(queue, worker_id="w0")
+        resolve_transport(queue)._connect().execute(
+            "UPDATE records SET record_json = 'garbage' WHERE seq = 2"
+        )
+        with pytest.raises(QueueIncomplete, match=r"2 run\(s\)"):
+            collect_queue(queue, str(tmp_path))
+
+    def test_missing_database_is_a_corrupt_queue(self, tmp_path):
+        with pytest.raises(QueueCorrupt, match="does not exist"):
+            work_queue(str(tmp_path / "no-such.sqlite"), worker_id="w0")
 
 
 class TestKillAWorker:
@@ -371,7 +669,16 @@ class TestKillAWorker:
             text=True,
         )
 
-    def test_sigkilled_worker_loses_nothing(self, tmp_path):
+    def _live_leases(self, queue, kind):
+        if kind == "dir":
+            leases = os.path.join(queue, "leases")
+            return [name.split("@", 1)[1] for name in os.listdir(leases) if "@" in name]
+        rows = resolve_transport(queue)._connect().execute(
+            "SELECT worker FROM tasks WHERE status = 'running'"
+        ).fetchall()
+        return [worker for (worker,) in rows]
+
+    def test_sigkilled_worker_loses_nothing(self, tmp_path, kind):
         # 3 workers on one queue; one is SIGKILLed mid-task.  Its lease must
         # go stale and be reclaimed, a survivor re-executes the run, and the
         # collected BENCH rows are byte-identical to an uninterrupted
@@ -384,16 +691,15 @@ class TestKillAWorker:
             repeats=6,
             seed=SEED,
         )
-        queue = queue_dir(str(tmp_path), spec.name)
-        enqueue_sweep(spec, queue)
+        queue = make_queue(tmp_path, kind, spec)
+        enqueue_sweep(spec, queue, kind=kind)
         workers = {wid: self._spawn_worker(queue, wid) for wid in ("w0", "w1", "w2")}
-        leases = os.path.join(queue, "leases")
         victim = None
         deadline = time.time() + 20.0
         while time.time() < deadline:
-            held = [name for name in os.listdir(leases) if "@" in name]
+            held = self._live_leases(queue, kind)
             if held:
-                task_name, victim = held[0].split("@", 1)
+                victim = held[0]
                 break
             time.sleep(0.005)
         assert victim is not None, "no worker ever claimed a task"
@@ -468,10 +774,11 @@ class TestLedgerDivergence:
 
 
 class TestQueueCLI:
-    def test_enqueue_work_collect_lifecycle(self, tmp_path, capsys):
+    def test_enqueue_work_collect_lifecycle(self, tmp_path, kind, capsys):
         out = str(tmp_path)
-        queue = os.path.join(out, "QUEUE_queue-smoke")
-        assert cli_main(["enqueue", "queue-smoke", "--out", out]) == 0
+        suffix = ".sqlite" if kind == "sqlite" else ""
+        queue = os.path.join(out, f"QUEUE_queue-smoke{suffix}")
+        assert cli_main(["enqueue", "queue-smoke", "--out", out, "--transport", kind]) == 0
         assert "enqueued 6 task(s)" in capsys.readouterr().out
         assert cli_main(["work", queue, "--worker-id", "w1", "--max-tasks", "3"]) == 0
         assert cli_main(["work", queue, "--worker-id", "w2"]) == 0
@@ -479,6 +786,13 @@ class TestQueueCLI:
         captured = capsys.readouterr().out
         assert "6 runs" in captured
         assert os.path.exists(os.path.join(out, "BENCH_queue-smoke.json"))
+
+    def test_enqueue_queue_db_overrides_location(self, tmp_path):
+        db = str(tmp_path / "nested" / "my-queue.db")
+        assert cli_main(["enqueue", "queue-smoke", "--queue-db", db]) == 0
+        assert os.path.exists(db)
+        assert queue_status(db)["tasks"] == 6
+        assert load_queue_spec(db).name == "queue-smoke"
 
     def test_collect_incomplete_queue_exits_nonzero(self, tmp_path, capsys):
         out = str(tmp_path)
@@ -495,10 +809,13 @@ class TestQueueCLI:
         assert cli_main(["work", str(tmp_path)]) == 1
         assert "spec.json" in capsys.readouterr().err
 
-    def test_enqueue_with_overrides_round_trips(self, tmp_path):
+    def test_enqueue_with_overrides_round_trips(self, tmp_path, kind):
         out = str(tmp_path)
-        assert cli_main(["enqueue", "queue-smoke", "--out", out, "--repeats", "1", "--seed", "5"]) == 0
-        queue = os.path.join(out, "QUEUE_queue-smoke")
+        args = ["enqueue", "queue-smoke", "--out", out, "--transport", kind,
+                "--repeats", "1", "--seed", "5"]
+        assert cli_main(args) == 0
+        suffix = ".sqlite" if kind == "sqlite" else ""
+        queue = os.path.join(out, f"QUEUE_queue-smoke{suffix}")
         spec = load_queue_spec(queue)
         assert spec.repeats == 1 and spec.seed == 5
         assert queue_status(queue)["tasks"] == 3
