@@ -40,6 +40,7 @@ from repro.blackbox.oracle import HidingOracle, QueryCounter
 from repro.core.factor_group import GeneratedQuotient
 from repro.groups.base import FiniteGroup, GroupError
 from repro.hsp.abelian import solve_abelian_hsp
+from repro.obs import span as obs_span
 from repro.quantum.sampling import FourierSampler, TupleFunctionOracle
 
 __all__ = ["ElementaryAbelianTwoResult", "solve_hsp_elementary_abelian_two"]
@@ -129,59 +130,66 @@ def solve_hsp_elementary_abelian_two(
         return element
 
     # -- step 1: H ∩ N (Simon-style run over Z_2^m) ---------------------------------
-    if m:
-        base_oracle = TupleFunctionOracle(
-            [2] * m,
-            lambda alpha: oracle(embed(alpha)),
-            counter=counter,
-            description="Theorem 13: restriction of f to N",
-            max_enumeration=max_enumeration,
-        )
-        base_result = solve_abelian_hsp(base_oracle, sampler=sampler)
-        intersection = [embed(alpha) for alpha in base_result.generators]
-        intersection = [x for x in intersection if not group.is_identity(x)]
-    else:
-        intersection = []
+    with obs_span("elementary_abelian_two.intersection") as intersection_span:
+        if m:
+            base_oracle = TupleFunctionOracle(
+                [2] * m,
+                lambda alpha: oracle(embed(alpha)),
+                counter=counter,
+                description="Theorem 13: restriction of f to N",
+                max_enumeration=max_enumeration,
+            )
+            base_result = solve_abelian_hsp(base_oracle, sampler=sampler)
+            intersection = [embed(alpha) for alpha in base_result.generators]
+            intersection = [x for x in intersection if not group.is_identity(x)]
+        else:
+            intersection = []
+        intersection_span.add("generators", len(intersection))
 
     # -- step 2: coset representatives V -----------------------------------------------
-    quotient = GeneratedQuotient(group, normal_generators, counter=counter)
-    use_cyclic = cyclic_quotient
-    if use_cyclic is None:
-        # Detection: the cyclic path is only sound when G/N really is cyclic.
-        # Abelianity is checked on generator commutators; cyclicity is then
-        # verified by testing that every generator image is a power of the
-        # assembled maximal-order element (a scan of at most |G/N| coset
-        # identity tests — the promise parameter avoids this cost entirely).
-        use_cyclic = quotient.is_abelian() and _quotient_is_cyclic(group, quotient)
-    if use_cyclic:
-        representatives = quotient.cyclic_prime_power_representatives()
-        cyclic_path = True
-    else:
-        representatives = _transversal(group, quotient, quotient_bound)
-        cyclic_path = False
+    with obs_span("elementary_abelian_two.representatives") as representatives_span:
+        quotient = GeneratedQuotient(group, normal_generators, counter=counter)
+        use_cyclic = cyclic_quotient
+        if use_cyclic is None:
+            # Detection: the cyclic path is only sound when G/N really is cyclic.
+            # Abelianity is checked on generator commutators; cyclicity is then
+            # verified by testing that every generator image is a power of the
+            # assembled maximal-order element (a scan of at most |G/N| coset
+            # identity tests — the promise parameter avoids this cost entirely).
+            use_cyclic = quotient.is_abelian() and _quotient_is_cyclic(group, quotient)
+        if use_cyclic:
+            representatives = quotient.cyclic_prime_power_representatives()
+            cyclic_path = True
+        else:
+            representatives = _transversal(group, quotient, quotient_bound)
+            cyclic_path = False
+        representatives_span.add("representatives", len(representatives))
+        representatives_span.set(cyclic=cyclic_path)
 
     # -- step 3: probe each representative's coset --------------------------------------
     coset_generators: List = []
-    for z in representatives:
-        if quotient.in_kernel(z):
-            continue
-        extended_oracle = TupleFunctionOracle(
-            [2] + [2] * m,
-            lambda alpha, _z=z: oracle(
-                group.multiply(embed(alpha[1:]), _z) if int(alpha[0]) % 2 else embed(alpha[1:])
-            ),
-            counter=counter,
-            description="Theorem 13: Z_2 x N probe",
-            max_enumeration=max_enumeration,
-        )
-        probe_result = solve_abelian_hsp(extended_oracle, sampler=sampler)
-        for generator in probe_result.generators:
-            if int(generator[0]) % 2 == 1:
-                u = embed(generator[1:])
-                candidate = group.multiply(group.inverse(u), z)
-                if oracle(candidate) == identity_label and not group.is_identity(candidate):
-                    coset_generators.append(candidate)
-                break
+    with obs_span("elementary_abelian_two.coset_probes") as probe_span:
+        for z in representatives:
+            if quotient.in_kernel(z):
+                continue
+            probe_span.add("probes")
+            extended_oracle = TupleFunctionOracle(
+                [2] + [2] * m,
+                lambda alpha, _z=z: oracle(
+                    group.multiply(embed(alpha[1:]), _z) if int(alpha[0]) % 2 else embed(alpha[1:])
+                ),
+                counter=counter,
+                description="Theorem 13: Z_2 x N probe",
+                max_enumeration=max_enumeration,
+            )
+            probe_result = solve_abelian_hsp(extended_oracle, sampler=sampler)
+            for generator in probe_result.generators:
+                if int(generator[0]) % 2 == 1:
+                    u = embed(generator[1:])
+                    candidate = group.multiply(group.inverse(u), z)
+                    if oracle(candidate) == identity_label and not group.is_identity(candidate):
+                        coset_generators.append(candidate)
+                    break
 
     generators = coset_generators + intersection
     return ElementaryAbelianTwoResult(

@@ -31,6 +31,7 @@ from repro.core.hidden_normal import find_hidden_normal_subgroup
 from repro.groups.base import FiniteGroup, GroupError
 from repro.groups.engine import maybe_engine
 from repro.groups.subgroup import commutator_subgroup_generators, generate_subgroup_elements
+from repro.obs import span as obs_span
 from repro.quantum.sampling import FourierSampler
 
 __all__ = ["SmallCommutatorResult", "solve_hsp_small_commutator"]
@@ -85,27 +86,29 @@ def solve_hsp_small_commutator(
     engine = maybe_engine(group) if use_engine else None
 
     # Step 1: enumerate G' and read off H ∩ G'.
-    if commutator_elements is None:
-        # The engine shortcut is only taken on uncounted groups: a counted
-        # black-box wrapper must keep the scalar enumeration so its query
-        # report stays identical to the use_engine=False run.
-        if engine is not None and not isinstance(group, BlackBoxGroup):
-            commutator_elements = engine.commutator_subgroup_elements(limit=commutator_bound)
-        else:
-            commutator_gens = commutator_subgroup_generators(group)
-            commutator_elements = (
-                generate_subgroup_elements(group, commutator_gens, limit=commutator_bound)
-                if commutator_gens
-                else [group.identity()]
-            )
-    commutator_elements = list(commutator_elements)
-    identity_label = oracle(group.identity())
-    commutator_labels = oracle.evaluate_many(commutator_elements)
-    intersection = [
-        c
-        for c, label in zip(commutator_elements, commutator_labels)
-        if not group.is_identity(c) and label == identity_label
-    ]
+    with obs_span("small_commutator.enumerate") as enumerate_span:
+        if commutator_elements is None:
+            # The engine shortcut is only taken on uncounted groups: a counted
+            # black-box wrapper must keep the scalar enumeration so its query
+            # report stays identical to the use_engine=False run.
+            if engine is not None and not isinstance(group, BlackBoxGroup):
+                commutator_elements = engine.commutator_subgroup_elements(limit=commutator_bound)
+            else:
+                commutator_gens = commutator_subgroup_generators(group)
+                commutator_elements = (
+                    generate_subgroup_elements(group, commutator_gens, limit=commutator_bound)
+                    if commutator_gens
+                    else [group.identity()]
+                )
+        commutator_elements = list(commutator_elements)
+        identity_label = oracle(group.identity())
+        commutator_labels = oracle.evaluate_many(commutator_elements)
+        intersection = [
+            c
+            for c, label in zip(commutator_elements, commutator_labels)
+            if not group.is_identity(c) and label == identity_label
+        ]
+        enumerate_span.add("commutator_order", len(commutator_elements))
 
     # Step 2: the coset-bundle function F hides HG' (normal, Abelian quotient).
     def bundled_label(x):
@@ -120,13 +123,14 @@ def solve_hsp_small_commutator(
 
     coset_generators: List = []
     for attempt in range(max_retries + 1):
-        normal_result = find_hidden_normal_subgroup(
-            group,
-            bundled_oracle,
-            sampler=sampler,
-            counter=counter,
-            max_enumeration=max_enumeration,
-        )
+        with obs_span("small_commutator.hidden_normal", attempt=attempt):
+            normal_result = find_hidden_normal_subgroup(
+                group,
+                bundled_oracle,
+                sampler=sampler,
+                counter=counter,
+                max_enumeration=max_enumeration,
+            )
 
         # Step 3: lift each generator of HG' into H by scanning its G'-coset.
         # If the Las Vegas inner run overshot HG', some generator has no
@@ -134,20 +138,22 @@ def solve_hsp_small_commutator(
         # hidden-normal step is repeated.
         coset_generators = []
         invariant_ok = True
-        for x in normal_result.generators:
-            if group.is_identity(x):
-                continue
-            lifted = None
-            for c in commutator_elements:
-                candidate = group.multiply(x, c)
-                if oracle(candidate) == identity_label:
-                    lifted = candidate
+        with obs_span("small_commutator.lift") as lift_span:
+            for x in normal_result.generators:
+                if group.is_identity(x):
+                    continue
+                lifted = None
+                for c in commutator_elements:
+                    candidate = group.multiply(x, c)
+                    if oracle(candidate) == identity_label:
+                        lifted = candidate
+                        break
+                if lifted is None:
+                    invariant_ok = False
                     break
-            if lifted is None:
-                invariant_ok = False
-                break
-            if not group.is_identity(lifted):
-                coset_generators.append(lifted)
+                if not group.is_identity(lifted):
+                    coset_generators.append(lifted)
+            lift_span.add("lifted", len(coset_generators))
         if invariant_ok:
             break
         counter.bump("theorem11_retries")

@@ -44,6 +44,7 @@ from repro.core.small_commutator import solve_hsp_small_commutator
 from repro.groups.base import FiniteGroup, GroupError
 from repro.hsp.abelian import solve_hsp_in_abelian_group
 from repro.hsp.baseline_classical import classical_exhaustive_hsp
+from repro.obs import span as obs_span
 from repro.quantum.sampling import FourierSampler
 
 __all__ = ["HSPSolution", "solve_hsp"]
@@ -132,14 +133,39 @@ def solve_hsp(
     the success-vs-rounds statistics sweeps scan.
     """
     sampler = sampler if sampler is not None else FourierSampler(rng=rng)
-    chosen = strategy if strategy != "auto" else _choose_strategy(instance)
+    with obs_span("solver.choose_strategy", requested=strategy) as choice_span:
+        chosen = strategy if strategy != "auto" else _choose_strategy(instance)
+        choice_span.set(strategy=chosen)
+    start = time.perf_counter()
+    queries_before = instance.query_report()
+
+    confidence_kwargs = {} if confidence is None else {"confidence": int(confidence)}
+
+    with obs_span(f"solver.strategy.{chosen}") as strategy_span:
+        generators, result = _dispatch(
+            chosen, instance, sampler, use_engine, confidence_kwargs
+        )
+        for key, value in instance.query_report().items():
+            delta = int(value) - int(queries_before.get(key, 0))
+            if delta:
+                strategy_span.add(key, delta)
+
+    elapsed = time.perf_counter() - start
+    return HSPSolution(
+        generators=generators,
+        strategy=chosen,
+        elapsed_seconds=elapsed,
+        query_report=instance.query_report(),
+        details=result,
+    )
+
+
+def _dispatch(chosen, instance, sampler, use_engine, confidence_kwargs):
+    """Run the chosen strategy; returns ``(generators, core_result)``."""
     group = instance.group
     base = _base_group(instance)
     oracle = instance.oracle
     promises = instance.promises
-    start = time.perf_counter()
-
-    confidence_kwargs = {} if confidence is None else {"confidence": int(confidence)}
 
     if chosen == "abelian":
         result = solve_hsp_in_abelian_group(base, oracle, sampler=sampler, **confidence_kwargs)
@@ -182,11 +208,4 @@ def solve_hsp(
     else:
         raise GroupError(f"unknown strategy {chosen!r}")
 
-    elapsed = time.perf_counter() - start
-    return HSPSolution(
-        generators=generators,
-        strategy=chosen,
-        elapsed_seconds=elapsed,
-        query_report=instance.query_report(),
-        details=result,
-    )
+    return generators, result

@@ -1,6 +1,6 @@
 """The ``python -m repro.experiments`` command line.
 
-Nine subcommands make sweeps reproducible (and analysable) from a shell:
+Eleven subcommands make sweeps reproducible (and analysable) from a shell:
 
 ``list``
     the declared workloads and registered instance families;
@@ -25,6 +25,14 @@ Nine subcommands make sweeps reproducible (and analysable) from a shell:
     merge the per-worker record shards of a drained queue into a
     ``BENCH_<name>.json`` whose deterministic rows are byte-identical to a
     single-process ``run`` (``--force`` overrides the live-lease refusal);
+``status QUEUE``
+    a live look at a queue: pending/lease/shard counts, per-worker
+    progress, and every outstanding lease with its heartbeat age
+    (leases older than ``--stale-after`` are flagged STALE);
+``trace summarise PATH...``
+    per-phase time/query breakdown of the JSONL trace files written by
+    ``run``/``work`` ``--trace`` (telemetry is sidecar-only — BENCH rows
+    are byte-identical with tracing on or off);
 ``report NAME-or-PATH``
     print the per-run rows and the aggregate of a produced BENCH file;
 ``summarise NAME-or-PATH``
@@ -50,6 +58,9 @@ Examples::
     python -m repro.experiments collect .benchmarks/QUEUE_queue-smoke --out .benchmarks
     python -m repro.experiments enqueue queue-smoke --transport sqlite --out .benchmarks
     python -m repro.experiments work .benchmarks/QUEUE_queue-smoke.sqlite
+    python -m repro.experiments status .benchmarks/QUEUE_queue-smoke
+    python -m repro.experiments run smoke --trace .benchmarks/trace.jsonl --out .benchmarks
+    python -m repro.experiments trace summarise .benchmarks/trace.jsonl
     python -m repro.experiments report smoke --out .benchmarks
     python -m repro.experiments summarise success-vs-rounds
     python -m repro.experiments plot strategy-crossover --svg crossover.svg
@@ -138,6 +149,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="abort the sweep once more than this many runs have errored "
         "(default: capture all errors as rows and finish)",
     )
+    _add_observability_options(run_parser)
 
     enqueue_parser = sub.add_parser(
         "enqueue", help="materialise a sweep's pending runs as claimable queue tasks"
@@ -200,6 +212,7 @@ def _build_parser() -> argparse.ArgumentParser:
     work_parser.add_argument(
         "--max-tasks", type=int, default=None, help="stop after executing this many tasks"
     )
+    _add_observability_options(work_parser)
 
     collect_parser = sub.add_parser(
         "collect", help="merge a drained queue's record shards into BENCH_<name>.json"
@@ -214,6 +227,32 @@ def _build_parser() -> argparse.ArgumentParser:
         help="collect even while live leases are outstanding (the covered rows are "
         "deterministic; the still-running worker's re-execution is a harmless duplicate)",
     )
+
+    status_parser = sub.add_parser(
+        "status",
+        help="pending/lease/shard counts, per-worker progress and heartbeat ages of a queue",
+    )
+    status_parser.add_argument(
+        "queue", help="the queue: a QUEUE_<name> directory or a QUEUE_<name>.sqlite database"
+    )
+    status_parser.add_argument(
+        "--stale-after",
+        type=_positive_seconds,
+        default=300.0,
+        help="heartbeat age after which a lease is flagged STALE (default 300; "
+        "match the workers' --stale-after)",
+    )
+
+    trace_parser = sub.add_parser(
+        "trace", help="inspect the JSONL trace files written by run/work --trace"
+    )
+    trace_sub = trace_parser.add_subparsers(dest="trace_command", required=True)
+    trace_summarise = trace_sub.add_parser(
+        "summarise",
+        aliases=["summarize"],
+        help="per-phase time/query breakdown aggregated over trace file(s)",
+    )
+    trace_summarise.add_argument("paths", nargs="+", help="trace JSONL file(s) to aggregate")
 
     sub.add_parser("list", help="list declared workloads and instance families")
 
@@ -260,6 +299,28 @@ def _build_parser() -> argparse.ArgumentParser:
         help="target total cache size in bytes (0 empties the cache)",
     )
     return parser
+
+
+def _add_observability_options(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--trace``/``--profile`` sidecar-telemetry options.
+
+    Both are strictly additive: traces and profiles land only in their own
+    files, and the BENCH rows / journal lines a traced invocation produces
+    are byte-identical to an untraced one.
+    """
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="append JSONL span/metric trace events to PATH (sidecar only; "
+        "BENCH output is byte-identical with or without it)",
+    )
+    parser.add_argument(
+        "--profile",
+        default=None,
+        metavar="DIR",
+        help="write a cProfile .pstats file per run into DIR",
+    )
 
 
 def _positive_seconds(text: str) -> float:
@@ -368,6 +429,8 @@ def _command_run(args) -> int:
             out_dir=args.out,
             max_failures=args.max_failures,
             resume=args.resume,
+            trace=args.trace,
+            profile_dir=args.profile,
         )
     except (SweepAborted, ValueError) as error:
         # SweepAborted: the --max-failures budget ran out (journal kept for
@@ -474,6 +537,8 @@ def _command_work(args) -> int:
             poll=args.poll,
             heartbeat=args.heartbeat,
             max_tasks=args.max_tasks,
+            trace=args.trace,
+            profile_dir=args.profile,
         )
     except (distributed.QueueCorrupt, ValueError) as error:
         print(str(error), file=sys.stderr)
@@ -484,6 +549,61 @@ def _command_work(args) -> int:
     )
     if _report_corrupt_tasks(args.queue):
         return 1
+    return 0
+
+
+def _command_status(args) -> int:
+    """A live, read-only look at a queue: counts, progress, heartbeat ages.
+
+    Purely observational — it never touches lease liveness, so running it
+    while workers drain the queue is always safe.
+    """
+    try:
+        counts = distributed.queue_status(args.queue)
+        progress = distributed.queue_progress(args.queue)
+        leases = distributed.lease_report(args.queue)
+    except (distributed.QueueCorrupt, ValueError) as error:
+        print(str(error), file=sys.stderr)
+        return 1
+    print(f"queue {args.queue} (sweep {progress['name']!r})")
+    print(
+        f"  progress: {progress['covered']}/{progress['expected']} run(s) journaled, "
+        f"{progress['errors']} error(s)"
+    )
+    print(
+        f"  pending tasks: {counts['tasks']}   live leases: {counts['leases']}   "
+        f"worker shards: {counts['shards']}   quarantined: {counts['corrupt']}"
+    )
+    if progress["workers"]:
+        print("  workers:")
+        for entry in progress["workers"]:
+            error_note = f", {entry['errors']} error(s)" if entry["errors"] else ""
+            print(f"    {entry['worker']}: {entry['records']} record(s){error_note}")
+    if leases:
+        print("  leases:")
+        for lease in leases:
+            age = lease["age_seconds"]
+            stale_note = "  STALE (reclaimable)" if age > args.stale_after else ""
+            print(
+                f"    {lease['task_id']} held by {lease['worker']}: "
+                f"last heartbeat {age:.1f}s ago{stale_note}"
+            )
+    _report_corrupt_tasks(args.queue)
+    return 0
+
+
+def _command_trace(args) -> int:
+    from repro.obs import format_trace_summary, load_trace_events, summarise_trace
+
+    try:
+        events = load_trace_events(args.paths)
+    except OSError as error:
+        print(str(error), file=sys.stderr)
+        return 1
+    if not events:
+        print(f"no trace events in {', '.join(args.paths)}", file=sys.stderr)
+        return 1
+    print(format_trace_summary(summarise_trace(events)))
     return 0
 
 
@@ -553,6 +673,19 @@ def _command_report(args) -> int:
             f"{ok:<3}  {report.get('quantum_queries', 0):>7}  "
             f"{report.get('classical_queries', 0):>9}  {time_text:>8}"
         )
+    by_strategy: dict = {}
+    for row in payload["rows"]:
+        by_strategy.setdefault(row["strategy"], []).append(timings.get(row["index"], 0.0))
+    if by_strategy:
+        print("  per-strategy timings:")
+        width = max(len(name) for name in by_strategy)
+        for strategy in sorted(by_strategy):
+            times = by_strategy[strategy]
+            total = sum(times)
+            print(
+                f"    {strategy:<{width}}  runs={len(times):>3}  total={total:.3f}s  "
+                f"mean={total / len(times) * 1e3:.1f}ms  max={max(times) * 1e3:.1f}ms"
+            )
     aggregate = payload["aggregate"]
     print(
         f"  aggregate: {aggregate['successes']}/{aggregate['runs']} ok, "
@@ -636,6 +769,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_work(args)
     if args.command == "collect":
         return _command_collect(args)
+    if args.command == "status":
+        return _command_status(args)
+    if args.command == "trace":
+        return _command_trace(args)
     if args.command == "list":
         return _command_list()
     if args.command == "cache":

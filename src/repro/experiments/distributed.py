@@ -61,6 +61,7 @@ import uuid
 import time
 from typing import Dict, List, Optional, Tuple, Union
 
+from repro import obs
 from repro.experiments.results import (
     RunRecord,
     bench_payload,
@@ -97,9 +98,11 @@ __all__ = [
     "corrupt_report",
     "default_worker_id",
     "enqueue_sweep",
+    "lease_report",
     "load_queue_spec",
     "queue_db_path",
     "queue_dir",
+    "queue_progress",
     "queue_status",
     "reclaim_stale",
     "resolve_transport",
@@ -169,6 +172,48 @@ def queue_status(queue: QueueLike) -> Dict[str, int]:
 def corrupt_report(queue: QueueLike) -> List[CorruptTask]:
     """The quarantined-corrupt tasks of a queue (empty for a healthy queue)."""
     return resolve_transport(queue).corrupt_tasks()
+
+
+def lease_report(queue: QueueLike) -> List[Dict[str, object]]:
+    """Live leases with holder and heartbeat age (seconds since last beat)."""
+    return resolve_transport(queue).lease_details()
+
+
+def _shard_worker_name(shard_id: str) -> str:
+    """The worker id behind a shard id (directory shards are file paths)."""
+    base = os.path.basename(str(shard_id))
+    if base.startswith("shard-") and base.endswith(".jsonl"):
+        return base[len("shard-") : -len(".jsonl")]
+    return str(shard_id)
+
+
+def queue_progress(queue: QueueLike) -> Dict[str, object]:
+    """Per-worker progress over the queue's record shards.
+
+    Returns ``{"name", "expected", "covered", "errors", "workers": [{"worker",
+    "records", "errors"}, ...]}`` where ``covered`` counts distinct
+    ``(index, seed)`` keys of the pinned expansion with at least one record.
+    """
+    transport = resolve_transport(queue)
+    spec = transport.load_spec()
+    streams = transport.record_streams(spec)
+    expected = {(run.index, run.seed) for run in spec.expand()}
+    merged = merge_record_streams(records for _, records in streams)
+    workers = [
+        {
+            "worker": _shard_worker_name(shard_id),
+            "records": len(records),
+            "errors": sum(1 for r in records.values() if r.status == "error"),
+        }
+        for shard_id, records in streams
+    ]
+    return {
+        "name": spec.name,
+        "expected": len(expected),
+        "covered": sum(1 for key in merged if key in expected),
+        "errors": sum(1 for record in merged.values() if record.status == "error"),
+        "workers": workers,
+    }
 
 
 def claim_next(queue: QueueLike, worker_id: str):
@@ -271,6 +316,8 @@ def work_queue(
     poll: float = 1.0,
     heartbeat: Optional[float] = None,
     max_tasks: Optional[int] = None,
+    trace: Optional[str] = None,
+    profile_dir: Optional[str] = None,
 ) -> Dict[str, int]:
     """Claim and execute tasks until the queue drains (or ``max_tasks``).
 
@@ -285,6 +332,12 @@ def work_queue(
     nor leases.
 
     Returns ``{"executed": ..., "errors": ..., "reclaimed": ..., "corrupt": ...}``.
+
+    ``trace`` appends this worker's JSONL span/metrics events to the given
+    sidecar path (workers sharing one path interleave whole lines, each
+    tagged with its worker id); ``profile_dir`` dumps one cProfile
+    ``.pstats`` file per executed task.  Neither changes shard records or
+    the collected BENCH payload in any byte.
     """
     validate_lease_timings(stale_after, poll, heartbeat)
     transport = resolve_transport(queue)
@@ -293,27 +346,51 @@ def work_queue(
     transport.prepare_shard(spec, worker)
     interval = heartbeat if heartbeat is not None else default_heartbeat(stale_after)
     executed = errors = reclaimed = corrupt = 0
-    while max_tasks is None or executed < max_tasks:
-        claim = transport.claim_next(worker)
-        if isinstance(claim, CorruptTask):
-            corrupt += 1
-            continue
-        if claim is None:
-            got_back = transport.reclaim_stale(stale_after)
-            if got_back:
-                reclaimed += got_back
-                continue
-            if transport.status()["leases"]:
-                time.sleep(poll)
-                continue
-            break  # no tasks, no leases: the queue is drained
-        with _Heartbeat(transport, claim, interval):
-            record = execute_run_safe(claim.run)
-        transport.append_record(spec, worker, record)
-        transport.release(claim)
-        executed += 1
-        if record.status == "error":
-            errors += 1
+    with obs.observed(trace_path=trace, profile_dir=profile_dir, worker=worker):
+        # Delta-snapshot the registry so two worker loops in one process
+        # (tests, sequential drains) never double-report shared metrics.
+        metrics_before = obs.get_metrics().snapshot()
+        with obs.span("worker", queue=transport.describe(), sweep=spec.name) as worker_span:
+            while max_tasks is None or executed < max_tasks:
+                claim = transport.claim_next(worker)
+                if isinstance(claim, CorruptTask):
+                    corrupt += 1
+                    obs.count("worker.corrupt")
+                    continue
+                if claim is None:
+                    got_back = transport.reclaim_stale(stale_after)
+                    if got_back:
+                        reclaimed += got_back
+                        obs.count("worker.reclaimed", got_back)
+                        continue
+                    if transport.status()["leases"]:
+                        time.sleep(poll)
+                        continue
+                    break  # no tasks, no leases: the queue is drained
+                with obs.span("task", task=claim.task_id):
+                    with _Heartbeat(transport, claim, interval):
+                        record = execute_run_safe(claim.run)
+                transport.append_record(spec, worker, record)
+                transport.release(claim)
+                executed += 1
+                obs.count("worker.executed")
+                if record.status == "error":
+                    errors += 1
+                    obs.count("worker.errors")
+            worker_span.add("executed", executed)
+            worker_span.add("errors", errors)
+            worker_span.add("reclaimed", reclaimed)
+            worker_span.add("corrupt", corrupt)
+        obs.event(
+            "worker_summary",
+            queue=transport.describe(),
+            sweep=spec.name,
+            executed=executed,
+            errors=errors,
+            reclaimed=reclaimed,
+            corrupt=corrupt,
+            metrics=obs.get_metrics().diff(metrics_before),
+        )
     return {"executed": executed, "errors": errors, "reclaimed": reclaimed, "corrupt": corrupt}
 
 

@@ -56,6 +56,8 @@ from repro.experiments.results import (
 )
 from repro.experiments.specs import RunSpec, SamplerSpec, SweepSpec
 from repro.groups.engine import engine_cache, engine_disabled
+from repro.obs import metrics as obs_metrics
+from repro import obs
 from repro.quantum.sampling import FourierSampler
 
 __all__ = [
@@ -118,7 +120,33 @@ def make_sampler(spec: SamplerSpec, rng: np.random.Generator, pool=None) -> Four
 
 
 def execute_run(run: RunSpec, shard_pool=None) -> RunRecord:
-    """Execute one run descriptor; raises on failure (see ``execute_run_safe``)."""
+    """Execute one run descriptor; raises on failure (see ``execute_run_safe``).
+
+    Telemetry is sidecar-only: the ``run`` span, the per-run metrics delta
+    event and the optional cProfile dump land in their own files and never
+    touch the returned record, so rows are byte-identical with observability
+    on or off.
+    """
+    with obs.span(
+        "run", sweep=run.sweep, index=run.index, seed=run.seed, family=run.family
+    ) as run_span, obs.profiled(f"run-{run.sweep}-{run.index:04d}-{run.seed}"):
+        metrics_before = (
+            obs.get_metrics().snapshot() if obs_metrics.collecting() else None
+        )
+        record = _execute_run_impl(run, shard_pool=shard_pool)
+        run_span.set(strategy=record.strategy, success=record.success)
+        if metrics_before is not None:
+            obs.event(
+                "run_metrics",
+                sweep=run.sweep,
+                index=run.index,
+                seed=run.seed,
+                metrics=obs.get_metrics().diff(metrics_before),
+            )
+    return record
+
+
+def _execute_run_impl(run: RunSpec, shard_pool=None) -> RunRecord:
     rng = np.random.default_rng(run.seed)
     options = run.options_dict()
     unknown = set(options) - SUPPORTED_SOLVER_OPTIONS
@@ -208,12 +236,28 @@ def execute_run_safe(run: RunSpec, shard_pool=None) -> RunRecord:
         )
 
 
+def _obs_pool_init(trace_path: Optional[str], profile_dir: Optional[str]) -> None:
+    """Pool-worker initializer: install the sweep's observability sinks.
+
+    Runs once per worker process; the worker exits with the pool, so nothing
+    is restored.  With both arguments ``None`` this is a no-op, which keeps a
+    single code path for traced and untraced pools.
+    """
+    obs.configure(
+        trace_path=trace_path,
+        profile_dir=profile_dir,
+        worker=f"pool-{os.getpid()}",
+    )
+
+
 def execute_batch(
     pending: Sequence[RunSpec],
     admit,
     workers: int = 1,
     sampler_shards: Optional[int] = None,
     over_budget=None,
+    trace: Optional[str] = None,
+    profile_dir: Optional[str] = None,
 ) -> bool:
     """The worker-agnostic task-execution core: run descriptors, sink records.
 
@@ -236,13 +280,20 @@ def execute_batch(
     executor shared by every run of the batch (a pooled batch must not spawn
     nested pools, so it is ignored for ``workers > 1`` — see
     :func:`make_sampler`).
+
+    ``trace``/``profile_dir`` configure observability inside pool worker
+    processes (the caller configures its own process); both default to off.
     """
     over = over_budget if over_budget is not None else (lambda: False)
     if workers <= 1:
         # Inline execution is where a SamplerSpec with shards= gets a real
         # worker pool: one executor shared by every run of the batch.
         pool_context = (
-            ProcessPoolExecutor(max_workers=int(sampler_shards))
+            ProcessPoolExecutor(
+                max_workers=int(sampler_shards),
+                initializer=_obs_pool_init,
+                initargs=(trace, profile_dir),
+            )
             if sampler_shards is not None and sampler_shards > 1
             else nullcontext(None)
         )
@@ -258,7 +309,11 @@ def execute_batch(
     # every record that did complete is admitted before the abort
     # (records may arrive out of input order; rows are keyed and later
     # sorted by index, so the payload is unaffected).
-    with ProcessPoolExecutor(max_workers=int(workers)) as pool:
+    with ProcessPoolExecutor(
+        max_workers=int(workers),
+        initializer=_obs_pool_init,
+        initargs=(trace, profile_dir),
+    ) as pool:
         queue = list(reversed(list(pending)))
         in_flight = set()
         window = 2 * int(workers)
@@ -288,6 +343,8 @@ def run_sweep(
     out_dir: Optional[str] = ".",
     max_failures: Optional[int] = None,
     resume: bool = False,
+    trace: Optional[str] = None,
+    profile_dir: Optional[str] = None,
 ) -> Tuple[Optional[str], Dict[str, object]]:
     """Execute a sweep and persist its ``BENCH_<name>.json``.
 
@@ -309,6 +366,11 @@ def run_sweep(
     a transient one heals — which is the point of resuming after a fix).
     The journal is validated against ``spec`` and removed once the sweep
     completes and the BENCH file is written.
+
+    ``trace`` appends JSONL span/metrics events (from this process and every
+    pool worker) to the given sidecar path; ``profile_dir`` dumps one
+    cProfile ``.pstats`` file per run.  Neither changes the journal or the
+    BENCH payload in any byte.
     """
     runs = spec.expand()
     jpath: Optional[str] = None
@@ -346,13 +408,19 @@ def run_sweep(
     def over_budget() -> bool:
         return max_failures is not None and failures > max_failures
 
-    completed = execute_batch(
-        pending,
-        admit,
-        workers=workers,
-        sampler_shards=spec.sampler.shards,
-        over_budget=over_budget,
-    )
+    with obs.observed(trace_path=trace, profile_dir=profile_dir):
+        with obs.span(
+            "sweep", sweep=spec.name, runs=len(runs), pending=len(pending), workers=workers
+        ):
+            completed = execute_batch(
+                pending,
+                admit,
+                workers=workers,
+                sampler_shards=spec.sampler.shards,
+                over_budget=over_budget,
+                trace=trace,
+                profile_dir=profile_dir,
+            )
     if not completed:
         raise SweepAborted(spec.name, failures, max_failures, jpath)
 

@@ -209,6 +209,13 @@ class Transport(abc.ABC):
         """``{"tasks": pending, "leases": running, "shards": n, "corrupt": quarantined}``."""
 
     @abc.abstractmethod
+    def lease_details(self) -> List[Dict[str, object]]:
+        """One entry per live lease, sorted by task id:
+        ``{"task_id": str, "worker": str, "age_seconds": float}`` where
+        ``age_seconds`` is the time since the last heartbeat (>= 0).  A
+        purely observational read — it must not touch lease liveness."""
+
+    @abc.abstractmethod
     def corrupt_tasks(self) -> List[CorruptTask]:
         """The quarantined tasks, oldest first."""
 

@@ -278,6 +278,30 @@ class DirectoryTransport(Transport):
             "corrupt": _count(self._corrupt, lambda name: name.endswith(".json")),
         }
 
+    def lease_details(self) -> List[Dict[str, object]]:
+        try:
+            names = sorted(os.listdir(self._leases))
+        except FileNotFoundError:
+            return []
+        details: List[Dict[str, object]] = []
+        now = time.time()
+        for name in names:
+            if _LEASE_SEP not in name:
+                continue
+            try:
+                mtime = os.stat(os.path.join(self._leases, name)).st_mtime
+            except FileNotFoundError:
+                continue  # completed or reclaimed while we were scanning
+            task_name, worker = name.split(_LEASE_SEP, 1)
+            details.append(
+                {
+                    "task_id": task_name,
+                    "worker": worker,
+                    "age_seconds": max(0.0, now - mtime),
+                }
+            )
+        return details
+
     def corrupt_tasks(self) -> List[CorruptTask]:
         if not os.path.isdir(self._corrupt):
             return []

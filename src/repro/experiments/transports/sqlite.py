@@ -53,6 +53,12 @@ __all__ = ["SqliteTransport", "SQLITE_MAGIC", "queue_db_path"]
 #: transport auto-detection to tell a queue database from a queue directory.
 SQLITE_MAGIC = b"SQLite format 3\x00"
 
+
+def _now() -> float:
+    """Wall-clock source for lease timing; an indirection so tests can mock
+    a clock step without patching the global ``time`` module."""
+    return time.time()
+
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS meta (
     key   TEXT PRIMARY KEY,
@@ -254,7 +260,7 @@ class SqliteTransport(Transport):
                 con.execute(
                     "UPDATE tasks SET status = 'running', worker = ?, "
                     "heartbeat_at = ?, note = NULL WHERE idx = ?",
-                    (worker_id, time.time(), idx),
+                    (worker_id, _now(), idx),
                 )
                 con.execute("COMMIT")
                 return Claim(task_id=task_id, run=run, handle=(idx, worker_id))
@@ -267,10 +273,16 @@ class SqliteTransport(Transport):
     def heartbeat(self, claim: Claim) -> bool:
         idx, worker = claim.handle
         with self._lock:
+            # MAX(...) clamps the stamp monotonically non-decreasing per row:
+            # if the wall clock steps backwards between beats, the row keeps
+            # its newest stamp instead of rewinding into reclaim_stale's
+            # stale window — a live lease must never look abandoned because
+            # of NTP.  (A forward step is already safe: the lease just looks
+            # fresher.)
             cursor = self._connect().execute(
-                "UPDATE tasks SET heartbeat_at = ? "
+                "UPDATE tasks SET heartbeat_at = MAX(COALESCE(heartbeat_at, 0), ?) "
                 "WHERE idx = ? AND worker = ? AND status = 'running'",
-                (time.time(), idx, worker),
+                (_now(), idx, worker),
             )
             return cursor.rowcount == 1
 
@@ -293,7 +305,7 @@ class SqliteTransport(Transport):
                 cursor = con.execute(
                     "UPDATE tasks SET status = 'pending', worker = NULL, "
                     "heartbeat_at = NULL WHERE status = 'running' AND heartbeat_at < ?",
-                    (time.time() - stale_after,),
+                    (_now() - stale_after,),
                 )
                 con.execute("COMMIT")
                 return cursor.rowcount
@@ -368,6 +380,20 @@ class SqliteTransport(Transport):
             "shards": int(shards),
             "corrupt": int(counts.get("failed", 0)),
         }
+
+    def lease_details(self) -> List[Dict[str, object]]:
+        now = _now()
+        return [
+            {
+                "task_id": f"task #{idx}",
+                "worker": str(worker or "?"),
+                "age_seconds": max(0.0, now - float(heartbeat_at or 0.0)),
+            }
+            for idx, worker, heartbeat_at in self._query(
+                "SELECT idx, worker, heartbeat_at FROM tasks "
+                "WHERE status = 'running' ORDER BY idx"
+            )
+        ]
 
     def corrupt_tasks(self) -> List[CorruptTask]:
         return [

@@ -34,12 +34,15 @@ from __future__ import annotations
 
 import hashlib
 import os
+import time
 from contextlib import contextmanager
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.groups.base import FiniteGroup, GroupError
+from repro.obs import metrics as obs_metrics
+from repro.obs import span as obs_span
 
 __all__ = [
     "CayleyBackend",
@@ -124,19 +127,25 @@ class CayleyBackend:
         self._is_abelian: Optional[bool] = None
         self._commutator_ids: Optional[np.ndarray] = None
         self._subgroup_cache: Dict[Tuple[int, ...], np.ndarray] = {}
+        self.cache_reused: Optional[bool] = None
         order = _cheap_order(group)
         self.group_order = order
         self.mode = "table" if order is not None and order <= table_limit else "sparse"
-        if self.mode == "table":
-            for element in group.element_list():
-                self.intern(element)
-            n = len(self._elements)
-            if cache_dir is not None:
-                self._attach_persistent_tables(cache_dir, n)
-            if self._table is None:
-                self._table = np.full((n, n), -1, dtype=np.int32)
-                self._inv_table = np.full(n, -1, dtype=np.int32)
-        self.identity_id = self.intern(group.identity())
+        with obs_span("engine.build", group=group.name, mode=self.mode) as build_span:
+            if self.mode == "table":
+                for element in group.element_list():
+                    self.intern(element)
+                n = len(self._elements)
+                if cache_dir is not None:
+                    self._attach_persistent_tables(cache_dir, n)
+                    build_span.add(
+                        "cache_hit" if self.cache_reused else "cache_miss"
+                    )
+                if self._table is None:
+                    self._table = np.full((n, n), -1, dtype=np.int32)
+                    self._inv_table = np.full(n, -1, dtype=np.int32)
+            self.identity_id = self.intern(group.identity())
+            build_span.add("interned", len(self._elements))
 
     # -- persistent dense tables -------------------------------------------------
     def _cache_digest(self) -> str:
@@ -185,6 +194,8 @@ class CayleyBackend:
                         pass
                 self._table = table
                 self._inv_table = inv_table
+                self.cache_reused = True
+                obs_metrics.count("engine.cache.hit")
                 return
             # Shape/dtype drift (e.g. a truncated write): fall through and
             # recreate the files from scratch.
@@ -203,6 +214,8 @@ class CayleyBackend:
         os.replace(inv_path + tmp_suffix, inv_path)
         self._table = table
         self._inv_table = inv_table
+        self.cache_reused = False
+        obs_metrics.count("engine.cache.miss")
 
     def flush_cache(self) -> None:
         """Flush memory-mapped tables to disk (no-op for in-memory engines)."""
@@ -239,6 +252,21 @@ class CayleyBackend:
         return len(self._elements)
 
     # -- scalar primitives ----------------------------------------------------
+    def _fill_product(self, a: int, b: int) -> int:
+        """Compute one uncached product; the miss path, timed when observed."""
+        start = time.perf_counter() if obs_metrics.collecting() else None
+        value = self.intern(self.group.multiply(self._elements[a], self._elements[b]))
+        if start is not None:
+            obs_metrics.observe("engine.fill.mul", time.perf_counter() - start)
+        return value
+
+    def _fill_inverse(self, a: int) -> int:
+        start = time.perf_counter() if obs_metrics.collecting() else None
+        value = self.intern(self.group.inverse(self._elements[a]))
+        if start is not None:
+            obs_metrics.observe("engine.fill.inv", time.perf_counter() - start)
+        return value
+
     def mul(self, a: int, b: int) -> int:
         """Product of two interned elements, memoized."""
         a = int(a)
@@ -246,13 +274,13 @@ class CayleyBackend:
         if self._table is not None:
             value = int(self._table[a, b])
             if value < 0:
-                value = self.intern(self.group.multiply(self._elements[a], self._elements[b]))
+                value = self._fill_product(a, b)
                 self._table[a, b] = value
             return value
         key = (a, b)
         value = self._mul_cache.get(key)
         if value is None:
-            value = self.intern(self.group.multiply(self._elements[a], self._elements[b]))
+            value = self._fill_product(a, b)
             self._mul_cache[key] = value
         return value
 
@@ -261,12 +289,12 @@ class CayleyBackend:
         if self._inv_table is not None:
             value = int(self._inv_table[a])
             if value < 0:
-                value = self.intern(self.group.inverse(self._elements[a]))
+                value = self._fill_inverse(a)
                 self._inv_table[a] = value
             return value
         value = self._inv_cache.get(a)
         if value is None:
-            value = self.intern(self.group.inverse(self._elements[a]))
+            value = self._fill_inverse(a)
             self._inv_cache[a] = value
         return value
 

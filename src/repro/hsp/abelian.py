@@ -24,6 +24,7 @@ import numpy as np
 from repro.blackbox.oracle import HidingOracle, QueryCounter
 from repro.groups.abelian import AbelianTupleGroup
 from repro.linalg.zmodule import annihilator, canonical_generators, subgroup_contains, subgroup_order
+from repro.obs import span as obs_span
 from repro.quantum.sampling import AbelianHSPOracle, FourierSampler, TupleFunctionOracle
 
 __all__ = ["AbelianHSPResult", "solve_abelian_hsp", "solve_hsp_in_abelian_group"]
@@ -85,29 +86,33 @@ def solve_abelian_hsp(
     # amortise its per-round cost.  Each sample updates the generated dual
     # subgroup incrementally: a membership test against the current canonical
     # generators replaces the full recomputation over all samples.
-    while rounds < max_rounds:
-        block = max(1, min(confidence - stable_rounds, max_rounds - rounds))
-        new_samples = sampler.sample(oracle, block)
-        rounds += len(new_samples)
-        for sample in new_samples:
-            samples.append(sample)
-            if dual_canonical:
-                enlarges = not subgroup_contains(dual_canonical, sample, moduli)
-            else:
-                enlarges = any(v % m for v, m in zip(sample, moduli))
-            if enlarges:
-                dual_canonical = canonical_generators(dual_canonical + [sample], moduli)
-                stable_rounds = 0
-            else:
-                stable_rounds += 1
-        if stable_rounds >= confidence:
-            break
+    with obs_span("abelian.fourier_sampling", confidence=confidence) as sampling_span:
+        while rounds < max_rounds:
+            block = max(1, min(confidence - stable_rounds, max_rounds - rounds))
+            new_samples = sampler.sample(oracle, block)
+            rounds += len(new_samples)
+            for sample in new_samples:
+                samples.append(sample)
+                if dual_canonical:
+                    enlarges = not subgroup_contains(dual_canonical, sample, moduli)
+                else:
+                    enlarges = any(v % m for v, m in zip(sample, moduli))
+                if enlarges:
+                    dual_canonical = canonical_generators(dual_canonical + [sample], moduli)
+                    stable_rounds = 0
+                else:
+                    stable_rounds += 1
+            if stable_rounds >= confidence:
+                break
+        sampling_span.add("rounds", rounds)
 
-    hidden = annihilator(dual_canonical, moduli) if dual_canonical else list(
-        annihilator([], moduli)
-    )
-    hidden = canonical_generators(hidden, moduli) if hidden else []
-    order = subgroup_order(hidden, moduli) if hidden else 1
+    with obs_span("abelian.reconstruction") as recon_span:
+        hidden = annihilator(dual_canonical, moduli) if dual_canonical else list(
+            annihilator([], moduli)
+        )
+        hidden = canonical_generators(hidden, moduli) if hidden else []
+        order = subgroup_order(hidden, moduli) if hidden else 1
+        recon_span.add("generators", len(hidden))
     return AbelianHSPResult(
         generators=hidden,
         moduli=moduli,

@@ -1,0 +1,52 @@
+"""Opt-in cProfile capture, one ``.pstats`` dump per labelled region.
+
+Disabled unless a profile directory is configured (``--profile DIR`` on the
+CLI, or ``repro.obs.configure(profile_dir=...)``); the disabled path is a
+single ``None`` check so :func:`profiled` can wrap every run unconditionally.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+__all__ = ["get_profile_dir", "profiled", "set_profile_dir"]
+
+_PROFILE_DIR: Optional[str] = None
+_SAFE = re.compile(r"[^A-Za-z0-9_.-]+")
+
+
+def get_profile_dir() -> Optional[str]:
+    return _PROFILE_DIR
+
+
+def set_profile_dir(path: Optional[str]) -> Optional[str]:
+    """Configure (or clear, with None) the dump directory; returns the previous."""
+
+    global _PROFILE_DIR
+    previous = _PROFILE_DIR
+    _PROFILE_DIR = os.fspath(path) if path is not None else None
+    return previous
+
+
+@contextmanager
+def profiled(label: str) -> Iterator[None]:
+    """Profile the block and dump ``<dir>/<label>.pstats`` when configured."""
+
+    directory = _PROFILE_DIR
+    if directory is None:
+        yield
+        return
+    import cProfile
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield
+    finally:
+        profiler.disable()
+        os.makedirs(directory, exist_ok=True)
+        name = _SAFE.sub("-", label).strip("-") or "profile"
+        profiler.dump_stats(os.path.join(directory, f"{name}.pstats"))

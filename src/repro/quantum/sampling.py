@@ -39,6 +39,7 @@ import numpy as np
 
 from repro.blackbox.oracle import QueryCounter
 from repro.linalg.zmodule import ZModule, annihilator, canonical_generators, cyclic_decomposition
+from repro.obs import span as obs_span
 from repro.quantum.qft import qft_probabilities_of_coset
 
 __all__ = [
@@ -246,13 +247,17 @@ class FourierSampler:
             raise ValueError("sharded sampling requires the batch path (batch=True)")
         backend = self._resolve_backend(oracle)
         oracle.counter.quantum_queries += count
-        if not self.batch:
+        with obs_span("sampler.batch", backend=backend, batch=self.batch) as sampler_span:
+            sampler_span.add("samples", count)
+            if shards is not None:
+                sampler_span.set(shards=shards)
+            if not self.batch:
+                if backend == "statevector":
+                    return [self._sample_statevector(oracle) for _ in range(count)]
+                return [self._sample_analytic(oracle) for _ in range(count)]
             if backend == "statevector":
-                return [self._sample_statevector(oracle) for _ in range(count)]
-            return [self._sample_analytic(oracle) for _ in range(count)]
-        if backend == "statevector":
-            return self._sample_statevector_batch(oracle, count, shards=shards, pool=pool)
-        return self._sample_analytic_batch(oracle, count, shards=shards, pool=pool)
+                return self._sample_statevector_batch(oracle, count, shards=shards, pool=pool)
+            return self._sample_analytic_batch(oracle, count, shards=shards, pool=pool)
 
     def _resolve_backend(self, oracle: AbelianHSPOracle) -> str:
         if self.backend != "auto":

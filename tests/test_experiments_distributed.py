@@ -54,14 +54,18 @@ from repro.experiments.distributed import (
     claim_next,
     corrupt_report,
     default_heartbeat,
+    lease_report,
     load_queue_spec,
     queue_db_path,
     queue_dir,
+    queue_progress,
     queue_status,
     reclaim_stale,
     shard_path,
     validate_lease_timings,
 )
+from repro.experiments.runner import execute_run_safe
+from repro.obs import load_trace_events, summarise_trace
 from repro.experiments.results import (
     append_journal,
     journal_path,
@@ -819,3 +823,168 @@ class TestQueueCLI:
         spec = load_queue_spec(queue)
         assert spec.repeats == 1 and spec.seed == 5
         assert queue_status(queue)["tasks"] == 3
+
+
+class TestStatusObservability:
+    """The PR 7 observability surface: transport status parity, lease
+    details with heartbeat ages, the heartbeat clock-step regression, and
+    the traced-drain byte-identity acceptance check."""
+
+    def test_status_parity_across_all_task_states(self, tmp_path):
+        # both transports must report identical counts at every lifecycle
+        # stage: pending, quarantined, running, and done-with-shard
+        spec = tiny_spec()
+        histories = {}
+        for kind in TRANSPORTS:
+            root = tmp_path / kind
+            root.mkdir()
+            queue = make_queue(root, kind, spec)
+            enqueue_sweep(spec, queue, kind=kind)
+            transport = resolve_transport(queue)
+            history = [transport.status()]                    # all pending
+            plant_corrupt_task(queue, kind)
+            first = transport.claim_next("w0")
+            assert isinstance(first, CorruptTask)
+            history.append(transport.status())                # one quarantined
+            claim = transport.claim_next("w0")
+            assert isinstance(claim, Claim)
+            history.append(transport.status())                # one running
+            record = execute_run_safe(claim.run)
+            transport.prepare_shard(spec, "w0")
+            transport.append_record(spec, "w0", record)
+            transport.release(claim)
+            history.append(transport.status())                # done + shard
+            histories[kind] = history
+        assert histories["dir"] == histories["sqlite"]
+        assert histories["dir"] == [
+            {"tasks": 4, "leases": 0, "shards": 0, "corrupt": 0},
+            {"tasks": 3, "leases": 0, "shards": 0, "corrupt": 1},
+            {"tasks": 2, "leases": 1, "shards": 0, "corrupt": 1},
+            {"tasks": 2, "leases": 0, "shards": 1, "corrupt": 1},
+        ]
+
+    def test_lease_details_name_holder_and_age(self, tmp_path, kind):
+        spec = tiny_spec()
+        queue = make_queue(tmp_path, kind, spec)
+        enqueue_sweep(spec, queue, kind=kind)
+        assert lease_report(queue) == []
+        claim = claim_next(queue, "w-obs")
+        (entry,) = lease_report(queue)
+        assert entry["task_id"] == claim.task_id
+        assert entry["worker"] == "w-obs"
+        assert 0.0 <= entry["age_seconds"] < 60.0
+        force_stale(queue, kind, age=900.0)
+        (aged,) = lease_report(queue)
+        assert aged["age_seconds"] > 800.0
+        # purely observational: reading details must not touch liveness
+        assert reclaim_stale(queue, stale_after=600.0) == 1
+
+    def test_sqlite_heartbeat_survives_a_backwards_clock_step(self, tmp_path, monkeypatch):
+        # regression: an NTP step back between beats used to rewind
+        # heartbeat_at into the stale window, so a *live* lease was
+        # reclaimed out from under its holder
+        from repro.experiments.transports import sqlite as sqlite_mod
+
+        spec = tiny_spec()
+        queue = make_queue(tmp_path, "sqlite", spec)
+        enqueue_sweep(spec, queue, kind="sqlite")
+        transport = resolve_transport(queue)
+        clock = {"t": 1000.0}
+        monkeypatch.setattr(sqlite_mod, "_now", lambda: clock["t"])
+        claim = transport.claim_next("w0")
+        assert isinstance(claim, Claim)
+        assert transport.heartbeat(claim)
+        clock["t"] = 400.0                      # wall clock steps back 10 min
+        assert transport.heartbeat(claim)       # stamp must not rewind
+        clock["t"] = 1005.0
+        (entry,) = transport.lease_details()
+        assert entry["age_seconds"] == pytest.approx(5.0)
+        assert transport.reclaim_stale(300.0) == 0  # the live lease survives
+        clock["t"] = 1400.0                     # now genuinely silent
+        assert transport.reclaim_stale(300.0) == 1
+
+    def test_queue_progress_reports_per_worker_records(self, tmp_path, kind):
+        spec = tiny_spec()
+        queue = make_queue(tmp_path, kind, spec)
+        enqueue_sweep(spec, queue, kind=kind)
+        work_queue(queue, worker_id="w1", max_tasks=3)
+        work_queue(queue, worker_id="w2")
+        progress = queue_progress(queue)
+        assert progress["name"] == spec.name
+        assert progress["expected"] == 4 and progress["covered"] == 4
+        assert progress["errors"] == 0
+        by_worker = {entry["worker"]: entry["records"] for entry in progress["workers"]}
+        assert by_worker == {"w1": 3, "w2": 1}
+
+    def test_traced_two_worker_drain_matches_untraced_run(self, tmp_path, kind):
+        # the PR acceptance check: tracing through work_queue leaves the
+        # collected BENCH byte-identical, and the trace covers the solver,
+        # sampler, and engine layers plus the worker loop itself
+        spec = tiny_spec()
+        queue = make_queue(tmp_path, kind, spec)
+        enqueue_sweep(spec, queue, kind=kind)
+        trace = str(tmp_path / "trace.jsonl")
+        executed = 0
+        while executed < 4:
+            for worker in ("w1", "w2"):
+                executed += work_queue(
+                    queue, worker_id=worker, max_tasks=1, trace=trace
+                )["executed"]
+        _, payload = collect_queue(queue, str(tmp_path))
+        _, baseline = run_sweep(spec, workers=1, out_dir=None)
+        assert rows_bytes(payload) == rows_bytes(baseline)
+        summary = summarise_trace(load_trace_events([trace]))
+        assert {"w1", "w2"} <= set(summary["workers"])
+        names = set(summary["spans"])
+        assert {"worker", "task", "run", "sampler.batch", "engine.build"} <= names
+        assert any(name.startswith("solver.strategy.") for name in names)
+        assert summary["spans"]["worker"]["counters"]["executed"] == 4
+
+
+class TestStatusCLI:
+    def test_status_shows_progress_workers_and_leases(self, tmp_path, kind, capsys):
+        spec = tiny_spec()
+        queue = make_queue(tmp_path, kind, spec)
+        enqueue_sweep(spec, queue, kind=kind)
+        work_queue(queue, worker_id="w1", max_tasks=2)
+        claim = claim_next(queue, "w2")  # leave one live lease outstanding
+        assert isinstance(claim, Claim)
+        assert cli_main(["status", queue]) == 0
+        out = capsys.readouterr().out
+        assert "2/4 run(s) journaled" in out
+        assert "w1: 2 record(s)" in out
+        assert "held by w2" in out
+        assert "STALE" not in out
+
+    def test_status_flags_stale_leases(self, tmp_path, kind, capsys):
+        spec = tiny_spec()
+        queue = make_queue(tmp_path, kind, spec)
+        enqueue_sweep(spec, queue, kind=kind)
+        claim_next(queue, "w-dead")
+        force_stale(queue, kind, age=900.0)
+        assert cli_main(["status", queue]) == 0
+        out = capsys.readouterr().out
+        assert "held by w-dead" in out
+        assert "STALE (reclaimable)" in out
+
+    def test_status_on_a_non_queue_exits_nonzero(self, tmp_path, capsys):
+        assert cli_main(["status", str(tmp_path / "nope")]) == 1
+        assert capsys.readouterr().err
+
+    def test_traced_work_cli_matches_untraced_collect(self, tmp_path, kind, capsys):
+        # end-to-end through the CLI: --trace on work never perturbs collect
+        out = str(tmp_path)
+        suffix = ".sqlite" if kind == "sqlite" else ""
+        queue = os.path.join(out, f"QUEUE_queue-smoke{suffix}")
+        trace = os.path.join(out, "trace.jsonl")
+        assert cli_main(["enqueue", "queue-smoke", "--out", out, "--transport", kind]) == 0
+        assert cli_main(["work", queue, "--worker-id", "w1", "--trace", trace]) == 0
+        assert cli_main(["collect", queue, "--out", out]) == 0
+        capsys.readouterr()
+        from repro.experiments.workloads import get_workload
+
+        _, baseline = run_sweep(get_workload("queue-smoke"), out_dir=None)
+        collected = load_bench(os.path.join(out, "BENCH_queue-smoke.json"))
+        assert rows_bytes(collected) == rows_bytes(baseline)
+        assert cli_main(["trace", "summarise", trace]) == 0
+        assert "worker" in capsys.readouterr().out
