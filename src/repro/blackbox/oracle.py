@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.groups.base import FiniteGroup
 
-__all__ = ["QueryCounter", "BlackBoxGroup", "HidingOracle"]
+__all__ = ["QueryCounter", "BlackBoxGroup", "DenseBlackBoxGroup", "HidingOracle"]
 
 
 @dataclass
@@ -205,6 +205,94 @@ class BlackBoxGroup(FiniteGroup):
         gens = self.group.generators() or [self.group.identity()]
         return max(len(self.group.encode(g)) for g in gens) * 8
 
+    def dense_view(self) -> Optional["DenseBlackBoxGroup"]:
+        """An id-native counted facade over this group, or ``None``.
+
+        Available when a Cayley engine exists for the wrapped group (see
+        :func:`repro.groups.engine.maybe_engine`); hot consumers use it to
+        stay in int64 id arrays across calls while this wrapper's counter
+        keeps the loop-equivalent totals.
+        """
+        from repro.groups.engine import maybe_engine
+
+        engine = maybe_engine(self.group)
+        if engine is None:
+            return None
+        return DenseBlackBoxGroup(self, engine)
+
+
+class DenseBlackBoxGroup:
+    """Counted group oracle over dense int64 ids.
+
+    The id-native twin of :class:`BlackBoxGroup`: every operation bumps the
+    same counter by the same amount as the equivalent element-level batch
+    call, then delegates to the (uncounted) Cayley engine.  Converting
+    between elements and ids (``intern_many`` / ``elements_of``) is free —
+    the paper's oracle model charges for group operations, not for how the
+    simulation names elements.
+    """
+
+    def __init__(self, black_box: BlackBoxGroup, engine):
+        self.black_box = black_box
+        self.engine = engine
+        self.counter = black_box.counter
+        self.identity_id = engine.identity_id
+
+    # -- free conversions -------------------------------------------------------
+    def intern(self, element) -> int:
+        return self.engine.intern(element)
+
+    def intern_many(self, elements: Sequence) -> np.ndarray:
+        return self.engine.intern_many(elements)
+
+    def element_of(self, element_id: int):
+        return self.engine.element_of(element_id)
+
+    def elements_of(self, ids: Sequence) -> List:
+        return self.engine.elements_of(ids)
+
+    # -- counted id operations --------------------------------------------------
+    def multiply_ids(self, ids_a: Sequence[int], ids_b: Sequence[int]) -> np.ndarray:
+        """Componentwise id products; counts ``len(ids_a)`` multiplications."""
+        ids_a = np.asarray(ids_a, dtype=np.int64)
+        ids_b = np.asarray(ids_b, dtype=np.int64)
+        if ids_a.shape != ids_b.shape:
+            raise ValueError("multiply_ids requires id arrays of equal length")
+        self.counter.group_multiplications += int(ids_a.size)
+        return self.engine.mul_many(ids_a, ids_b)
+
+    def inverse_ids(self, ids: Sequence[int]) -> np.ndarray:
+        """Componentwise id inverses; counts ``len(ids)`` inversions."""
+        ids = np.asarray(ids, dtype=np.int64)
+        self.counter.group_inversions += int(ids.size)
+        return self.engine.inv_many(ids)
+
+    def is_identity_ids(self, ids: Sequence[int]) -> np.ndarray:
+        """Componentwise identity tests; counts ``len(ids)`` identity tests."""
+        ids = np.asarray(ids, dtype=np.int64)
+        self.counter.identity_tests += int(ids.size)
+        return ids == self.identity_id
+
+    def closure_ids(self, generator_ids: Sequence[int]) -> np.ndarray:
+        """Ids of the generated subgroup, counted like the scalar BFS.
+
+        The scalar enumeration (``generate_subgroup_elements``) tests each
+        generator against the identity, inverts the ``k`` non-identity
+        generators, and multiplies every discovered member by each of the
+        ``2k`` extended generators exactly once — ``|H| * 2k`` products in
+        total, independent of the BFS level structure, because every member
+        enters the frontier exactly once.  Those totals are charged here up
+        front and the member set itself comes from the engine's vectorised
+        closure, which is orders of magnitude faster than a counted
+        per-level walk.
+        """
+        ids = np.asarray(generator_ids, dtype=np.int64)
+        keep = ids[~self.is_identity_ids(ids)]
+        self.counter.group_inversions += int(keep.size)
+        member = self.engine.subgroup_ids(keep)
+        self.counter.group_multiplications += int(member.size) * 2 * int(keep.size)
+        return member
+
 
 class HidingOracle:
     """The hiding function ``f : G -> X`` with query accounting.
@@ -230,14 +318,36 @@ class HidingOracle:
         self.hidden_subgroup_generators = list(hidden_subgroup_generators) if hidden_subgroup_generators is not None else None
         self.description = description
         self._cache: Dict[Any, Any] = {}
+        self._engine = None
+        self._label_ids: Optional[Callable[[np.ndarray], Sequence]] = None
+
+    @property
+    def dense_engine(self):
+        """The Cayley engine this oracle is id-keyed on, or ``None``."""
+        return self._engine
+
+    def attach_dense(self, engine, label_ids: Optional[Callable[[np.ndarray], Sequence]] = None) -> None:
+        """Key the query cache by dense engine ids and enable :meth:`evaluate_ids`.
+
+        ``label_ids`` is an optional vectorized labeller (an int64 id array
+        in, one label per id out) used for uncached ids; without it the
+        scalar ``label`` runs per fresh id.  Interning is a bijection, so the
+        set of counted (uncached) queries is identical to the element-keyed
+        cache — accounting is unchanged.  Existing cache entries are migrated.
+        """
+        migrated = {engine.intern(element): value for element, value in self._cache.items()}
+        self._engine = engine
+        self._label_ids = label_ids
+        self._cache = migrated
 
     def __call__(self, element) -> Any:
         """A classical query to ``f`` (cached; the first evaluation counts)."""
-        if element in self._cache:
-            return self._cache[element]
+        key = self._engine.intern(element) if self._engine is not None else element
+        if key in self._cache:
+            return self._cache[key]
         self.counter.classical_queries += 1
         value = self._label(element)
-        self._cache[element] = value
+        self._cache[key] = value
         return value
 
     def evaluate_many(self, elements: Sequence) -> List:
@@ -248,6 +358,8 @@ class HidingOracle:
         the equivalent scalar loop ``[self(x) for x in elements]`` —
         including when the input contains duplicates.
         """
+        if self._engine is not None:
+            return list(self.evaluate_ids(self._engine.intern_many(list(elements))))
         values = []
         for element in elements:
             if element in self._cache:
@@ -259,13 +371,50 @@ class HidingOracle:
             values.append(value)
         return values
 
+    def evaluate_ids(self, ids: Sequence[int]) -> List:
+        """Batch classical queries addressed by dense engine ids.
+
+        Counts exactly the distinct uncached ids — interning is a bijection,
+        so this equals the scalar loop's total over the decoded elements
+        (duplicates and all).  Uncached labels come from the vectorized
+        ``label_ids`` when attached, else from the scalar labeller per id.
+        Requires a prior :meth:`attach_dense`.
+        """
+        if self._engine is None:
+            raise ValueError("evaluate_ids requires attach_dense")
+        ids = np.asarray(ids, dtype=np.int64)
+        cache = self._cache
+        fresh: List[int] = []
+        seen_fresh = set()
+        for i in ids.tolist():
+            if i not in cache and i not in seen_fresh:
+                seen_fresh.add(i)
+                fresh.append(i)
+        if fresh:
+            self.counter.classical_queries += len(fresh)
+            if self._label_ids is not None:
+                fresh_array = np.asarray(fresh, dtype=np.int64)
+                for i, value in zip(fresh, self._label_ids(fresh_array)):
+                    cache[i] = value
+            else:
+                for i in fresh:
+                    cache[i] = self._label(self._engine.element_of(i))
+        return [cache[i] for i in ids.tolist()]
+
     def quantum_query(self, count: int = 1) -> None:
         """Account for ``count`` superposition queries (Fourier-sampling rounds)."""
         self.counter.quantum_queries += count
 
     def fresh_view(self) -> "HidingOracle":
-        """A new oracle sharing the labelling function but with fresh counters."""
-        return HidingOracle(self._label, QueryCounter(), self.hidden_subgroup_generators, self.description)
+        """A new oracle sharing the labelling function but with fresh counters.
+
+        A dense attachment (engine keying + vectorized labeller) carries
+        over; the cache does not, so the new view counts its own queries.
+        """
+        view = HidingOracle(self._label, QueryCounter(), self.hidden_subgroup_generators, self.description)
+        if self._engine is not None:
+            view.attach_dense(self._engine, self._label_ids)
+        return view
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"HidingOracle({self.description})"

@@ -26,6 +26,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 from repro.blackbox.oracle import BlackBoxGroup, HidingOracle, QueryCounter
 from repro.core.hidden_normal import find_hidden_normal_subgroup
 from repro.groups.base import FiniteGroup, GroupError
@@ -111,15 +113,33 @@ def solve_hsp_small_commutator(
         enumerate_span.add("commutator_order", len(commutator_elements))
 
     # Step 2: the coset-bundle function F hides HG' (normal, Abelian quotient).
-    def bundled_label(x):
-        coset = group.multiply_many([x] * len(commutator_elements), commutator_elements)
-        return frozenset(oracle.evaluate_many(coset))
+    # When the hiding oracle is dense-attached to the same engine as the
+    # group, the whole bundle stays in int64 ids: one counted id-products row
+    # plus one id-batch evaluation per uncached x.  Counting is identical to
+    # the element path (multiply_ids counts the row length, evaluate_ids the
+    # uncached ids), so the query report does not depend on the route.
+    dense = group.dense_view() if engine is not None and isinstance(group, BlackBoxGroup) else None
+    if dense is not None and oracle.dense_engine is dense.engine:
+        commutator_ids = dense.intern_many(commutator_elements)
+
+        def bundled_label(x):
+            x_ids = np.full(commutator_ids.size, dense.intern(x), dtype=np.int64)
+            return frozenset(oracle.evaluate_ids(dense.multiply_ids(x_ids, commutator_ids)))
+
+    else:
+
+        def bundled_label(x):
+            coset = group.multiply_many([x] * len(commutator_elements), commutator_elements)
+            return frozenset(oracle.evaluate_many(coset))
 
     bundled_oracle = HidingOracle(
         bundled_label,
         counter=counter,
         description="coset bundle F(x) = {f(xc) : c in G'}",
     )
+    if dense is not None:
+        # Key the bundle cache by ids too (free conversions; same counting).
+        bundled_oracle.attach_dense(dense.engine)
 
     coset_generators: List = []
     for attempt in range(max_retries + 1):

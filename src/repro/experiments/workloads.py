@@ -315,3 +315,32 @@ def _declare_comparison(label: str, family: str, grid, repeats: int) -> None:
 
 _declare_comparison("extraspecial", "extraspecial_random", {"p": [7]}, repeats=3)
 _declare_comparison("hidden-normal", "dihedral_rotation", {"n": [128]}, repeats=3)
+
+# -- scaling trajectory (bench_scaling.py, BENCH_scaling.json) ----------------
+
+#: Axes of the dense-kernel scaling benchmark: per family, group sizes from
+#: comfortably-enumerable up to well past the Cayley-table limit (dihedral
+#: reaches |G| = 16384 and extraspecial |G| = 24389, an order of magnitude
+#: beyond the largest group in any other committed BENCH).
+#: ``bench_scaling.py`` times each point cold (fresh group, fresh engine,
+#: fresh oracle caches) with the dense kernels on and with
+#: :func:`repro.groups.engine.kernel_disabled` — the pre-kernel engine
+#: path — and asserts the two query reports are identical per point.  The
+#: first point of each family doubles as the CI ``scaling-smoke`` subset.
+SCALING_AXES: List[Dict[str, object]] = [
+    {"label": "dihedral", "family": "dihedral_rotation", "grid": {"n": [512, 2048, 8192]}},
+    {"label": "metacyclic", "family": "metacyclic_core", "grid": {"pq": [(31, 5), (127, 7), (1999, 3)]}},
+    {"label": "extraspecial", "family": "extraspecial_random", "grid": {"p": [7, 13, 29]}},
+]
+
+for _axis in SCALING_AXES:
+    declare(
+        SweepSpec.from_grid(
+            f"scaling-{_axis['label']}",
+            str(_axis["family"]),
+            dict(_axis["grid"]),  # type: ignore[arg-type]
+            repeats=1,
+            description=f"scaling trajectory of the {_axis['label']} family "
+            "(dense-kernel engine; timed against kernel_disabled() by bench_scaling.py)",
+        )
+    )

@@ -13,12 +13,34 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.groups.base import FiniteGroup, GroupError
+from repro.groups.base import DenseKernel, FiniteGroup, GroupError
 from repro.linalg.zmodule import ZModule, member_coefficients, subgroup_order
 
 __all__ = ["AbelianTupleGroup", "cyclic_group", "elementary_abelian_group"]
 
 Vector = Tuple[int, ...]
+
+
+class _AbelianKernel(DenseKernel):
+    """Rows are coordinate vectors; products add componentwise mod the moduli."""
+
+    def __init__(self, moduli: Tuple[int, ...]):
+        self.width = len(moduli)
+        self._moduli = np.asarray(moduli, dtype=np.int64)
+
+    def encode_many(self, elements: Sequence[Vector]) -> np.ndarray:
+        if not elements:
+            return np.empty((0, self.width), dtype=np.int64)
+        return np.asarray(list(elements), dtype=np.int64)
+
+    def decode_many(self, rows: np.ndarray) -> List[Vector]:
+        return [tuple(int(v) for v in row) for row in rows]
+
+    def compose_many(self, rows_a: np.ndarray, rows_b: np.ndarray) -> np.ndarray:
+        return (rows_a + rows_b) % self._moduli
+
+    def inverse_many(self, rows: np.ndarray) -> np.ndarray:
+        return (-rows) % self._moduli
 
 
 class AbelianTupleGroup(FiniteGroup):
@@ -73,6 +95,12 @@ class AbelianTupleGroup(FiniteGroup):
 
     def uniform_random_element(self, rng: np.random.Generator) -> Vector:
         return self.module.random_element(rng)
+
+    def dense_kernel(self) -> Optional[_AbelianKernel]:
+        # Coordinate sums must stay inside int64: gate on the moduli.
+        if any(m >= (1 << 31) for m in self.moduli):
+            return None
+        return _AbelianKernel(self.moduli)
 
     # -- subgroup helpers ------------------------------------------------------------
     def subgroup_order(self, generators: Sequence[Vector]) -> int:

@@ -23,13 +23,52 @@ import numpy as np
 
 from repro.linalg.modular import element_order_from_exponent, factorint, lcm
 
-__all__ = ["FiniteGroup", "GroupError", "product_replacement_sampler"]
+__all__ = ["DenseKernel", "FiniteGroup", "GroupError", "product_replacement_sampler"]
 
 Element = Any
 
 
 class GroupError(Exception):
     """Raised for structurally invalid group operations."""
+
+
+class DenseKernel:
+    """Vectorized coordinate arithmetic over ``(n, width)`` int64 row arrays.
+
+    A group that can represent its elements as fixed-width integer vectors
+    (permutation images, Abelian coordinate tuples, Heisenberg triples,
+    product concatenations) exposes one of these through
+    :meth:`FiniteGroup.dense_kernel`.  The Cayley engine then computes whole
+    blocks of products and inverses as single NumPy expressions instead of
+    calling the scalar :meth:`FiniteGroup.multiply` per pair — this is the
+    batch protocol behind the bulk table fills and the ``"kernel"`` engine
+    mode.
+
+    Contract: ``decode_many(encode_many(xs)) == xs`` for group elements, and
+    ``compose_many``/``inverse_many`` agree row-for-row with the group's
+    scalar ``multiply``/``inverse`` (property-tested per group).  Kernels
+    perform *no query accounting* — counted wrappers bump their counters in
+    bulk before any kernel runs, exactly as for the scalar engine paths.
+    """
+
+    #: Number of int64 coordinates per element row.
+    width: int = 0
+
+    def encode_many(self, elements: Sequence[Element]) -> np.ndarray:
+        """Encode elements into an ``(n, width)`` int64 row array."""
+        raise NotImplementedError
+
+    def decode_many(self, rows: np.ndarray) -> List[Element]:
+        """Decode an ``(n, width)`` row array back into element objects."""
+        raise NotImplementedError
+
+    def compose_many(self, rows_a: np.ndarray, rows_b: np.ndarray) -> np.ndarray:
+        """Row-wise products ``a_i * b_i`` of two row arrays."""
+        raise NotImplementedError
+
+    def inverse_many(self, rows: np.ndarray) -> np.ndarray:
+        """Row-wise inverses of a row array."""
+        raise NotImplementedError
 
 
 class FiniteGroup(abc.ABC):
@@ -91,11 +130,21 @@ class FiniteGroup(abc.ABC):
         """
         return None
 
+    def dense_kernel(self) -> Optional["DenseKernel"]:
+        """A :class:`DenseKernel` for this group, or ``None``.
+
+        Groups with a natural fixed-width integer coordinate representation
+        override this; the default keeps the scalar path.  The returned
+        kernel must agree with the scalar ``multiply``/``inverse`` on every
+        pair of elements.
+        """
+        return None
+
     # -- derived operations -----------------------------------------------------
     def power(self, a: Element, k: int) -> Element:
         """``a**k`` by binary exponentiation (``k`` may be negative)."""
         engine = getattr(self, "_cayley_engine", None)
-        if engine is not None and engine.mode == "table":
+        if engine is not None and engine.mode in ("table", "kernel"):
             return engine.element_of(engine.power(engine.intern(a), k))
         if k < 0:
             return self.power(self.inverse(a), -k)
@@ -147,7 +196,7 @@ class FiniteGroup(abc.ABC):
         if self.is_identity(a):
             return 1
         engine = getattr(self, "_cayley_engine", None)
-        if engine is not None and engine.mode == "table":
+        if engine is not None and engine.mode in ("table", "kernel"):
             return engine.element_order(engine.intern(a))
         bound = exponent if exponent is not None else self.exponent_bound()
         if bound is not None:

@@ -49,6 +49,7 @@ __all__ = [
     "get_engine",
     "maybe_engine",
     "engine_disabled",
+    "kernel_disabled",
     "engine_cache",
     "cache_entries",
     "prune_cache",
@@ -64,6 +65,35 @@ DEFAULT_INTERN_LIMIT = 1 << 16
 
 #: Safety cap for element-order iteration in sparse mode.
 _ORDER_ITERATION_LIMIT = 10**7
+
+
+class _RowIndex:
+    """Row -> id lookup over an ``(n, w)`` int64 row matrix.
+
+    Rows are compared as opaque byte strings through a void view — the
+    classic unique-rows idiom — so a whole block of kernel-computed product
+    rows resolves to ids with one ``searchsorted``.  Unknown rows (a kernel
+    bug, or a foreign element) raise :class:`GroupError`.
+    """
+
+    def __init__(self, rows: np.ndarray):
+        rows = np.ascontiguousarray(rows, dtype=np.int64)
+        self._rows = rows
+        self._void = np.dtype((np.void, rows.dtype.itemsize * rows.shape[1]))
+        keys = rows.view(self._void).ravel()
+        self._order = np.argsort(keys)
+        self._sorted = keys[self._order]
+
+    def lookup(self, query: np.ndarray) -> np.ndarray:
+        query = np.ascontiguousarray(query, dtype=np.int64)
+        if query.size == 0:
+            return np.empty(0, dtype=np.int64)
+        qkeys = query.view(self._void).ravel()
+        pos = np.minimum(np.searchsorted(self._sorted, qkeys), len(self._sorted) - 1)
+        ids = self._order[pos].astype(np.int64)
+        if not np.array_equal(self._rows[ids], query):
+            raise GroupError("dense kernel produced a row outside the enumerated group")
+        return ids
 
 
 def _cheap_order(group: FiniteGroup) -> Optional[int]:
@@ -85,6 +115,100 @@ def _cheap_order(group: FiniteGroup) -> Optional[int]:
     return None
 
 
+def _row_keys(rows: np.ndarray) -> List[bytes]:
+    """Hashable per-row keys of a contiguous int64 row block."""
+    rows = np.ascontiguousarray(rows, dtype=np.int64)
+    stride = rows.shape[1] * rows.dtype.itemsize
+    data = rows.tobytes()
+    return [data[i * stride : (i + 1) * stride] for i in range(rows.shape[0])]
+
+
+def _row_chain(kernel, identity_row: np.ndarray, gen_row: np.ndarray) -> np.ndarray:
+    """Rows of the cyclic group ``<g>`` by shift doubling on kernel rows.
+
+    Same invariant as :meth:`CayleyBackend._cyclic_power_ids` — ``powers =
+    [g^0 .. g^{k-1}]`` with ``pivot = g^k`` — but over raw kernel rows, for
+    use before any id assignment exists.  ``O(log ord g)`` kernel calls.
+    """
+    if bytes(np.ascontiguousarray(gen_row, dtype=np.int64).tobytes()) == bytes(
+        np.ascontiguousarray(identity_row, dtype=np.int64).tobytes()
+    ):
+        return np.ascontiguousarray(identity_row, dtype=np.int64)[None, :]
+    powers = np.ascontiguousarray(np.stack([identity_row, gen_row]), dtype=np.int64)
+    seen = set(_row_keys(powers))
+    pivot = kernel.compose_many(gen_row[None, :], gen_row[None, :])[0]
+    while True:
+        block = np.ascontiguousarray(
+            kernel.compose_many(powers, np.tile(pivot, (powers.shape[0], 1))),
+            dtype=np.int64,
+        )
+        keys = _row_keys(block)
+        cut = next((i for i, k in enumerate(keys) if k in seen), None)
+        if cut is not None:
+            return np.concatenate([powers, block[:cut]])
+        seen.update(keys)
+        powers = np.concatenate([powers, block])
+        pivot = kernel.compose_many(pivot[None, :], pivot[None, :])[0]
+
+
+def _kernel_enumerate_rows(kernel, identity_row: np.ndarray, gen_rows: np.ndarray) -> np.ndarray:
+    """Enumerate the group generated by ``gen_rows`` entirely in row space.
+
+    Dimino-style closure: the first generator's cyclic chain is built by
+    shift doubling, and every further generator extends the current
+    subgroup ``K`` coset by coset — each new representative ``r``
+    contributes the whole block ``K @ powers(r)`` in bulk kernel calls, and
+    representatives are probed breadth-first with every generator processed
+    so far.  No scalar ``multiply`` is ever called; the output order is
+    deterministic (identity first), which fixes the dense id assignment.
+    """
+    blocks: List[np.ndarray] = []
+    seen: set = set()
+
+    def absorb(rows: np.ndarray) -> None:
+        fresh_idx = []
+        for i, row_key in enumerate(_row_keys(rows)):
+            if row_key not in seen:
+                seen.add(row_key)
+                fresh_idx.append(i)
+        if fresh_idx:
+            blocks.append(np.ascontiguousarray(rows[np.asarray(fresh_idx)], dtype=np.int64))
+
+    identity_row = np.ascontiguousarray(identity_row, dtype=np.int64)
+    absorb(identity_row[None, :])
+    processed: List[np.ndarray] = []
+    for g_idx in range(gen_rows.shape[0]):
+        gen_row = np.ascontiguousarray(gen_rows[g_idx], dtype=np.int64)
+        processed.append(gen_row)
+        if _row_keys(gen_row[None, :])[0] in seen:
+            continue
+        base = np.concatenate(blocks)
+        pending: List[np.ndarray] = [gen_row]
+        while pending:
+            rep = pending.pop(0)
+            if _row_keys(rep[None, :])[0] in seen:
+                continue
+            # powers = [e, r, r^2, ...]: the whole stack of cosets
+            # K r^j lands in one bulk call, and every power is probed with
+            # every processed generator so no coset of the closure is missed.
+            shifts = _row_chain(kernel, identity_row, rep)[1:]
+            coset = kernel.compose_many(
+                np.repeat(base, shifts.shape[0], axis=0),
+                np.tile(shifts, (base.shape[0], 1)),
+            )
+            absorb(np.asarray(coset))
+            gen_stack = np.stack(processed)
+            probes = np.asarray(
+                kernel.compose_many(
+                    np.repeat(shifts, gen_stack.shape[0], axis=0),
+                    np.tile(gen_stack, (shifts.shape[0], 1)),
+                )
+            )
+            fresh = [i for i, k in enumerate(_row_keys(probes)) if k not in seen]
+            pending.extend(np.ascontiguousarray(probes[i], dtype=np.int64) for i in fresh)
+    return np.concatenate(blocks)
+
+
 class CayleyBackend:
     """Dense-id engine over a :class:`~repro.groups.base.FiniteGroup`.
 
@@ -96,7 +220,17 @@ class CayleyBackend:
     table_limit:
         Orders up to this use ``mode == "table"`` (a lazily filled dense
         NumPy Cayley table over the *full* element list); larger groups use
-        ``mode == "sparse"`` (per-pair memoisation, on-demand interning).
+        ``mode == "kernel"`` when the group exposes a
+        :class:`~repro.groups.base.DenseKernel` and ``kernel_limit`` allows
+        it, and ``mode == "sparse"`` (per-pair memoisation, on-demand
+        interning) otherwise.
+    kernel_limit:
+        Opt-in ceiling for ``mode == "kernel"``: orders in
+        ``(table_limit, kernel_limit]`` with a dense kernel enumerate the
+        whole group but skip the ``n^2`` table — products and inverses are
+        computed array-at-a-time by the kernel and resolved back to ids via
+        a sorted row index.  ``None`` (the default for direct construction)
+        disables the mode; :func:`maybe_engine` passes its ``intern_limit``.
     cache_dir:
         Optional directory for *persistent* dense tables.  When set (and the
         group runs in table mode), the Cayley table and inverse table are
@@ -112,6 +246,7 @@ class CayleyBackend:
         group: FiniteGroup,
         table_limit: int = DEFAULT_TABLE_LIMIT,
         cache_dir: Optional[str] = None,
+        kernel_limit: Optional[int] = None,
     ):
         self.group = group
         self.table_limit = table_limit
@@ -128,22 +263,72 @@ class CayleyBackend:
         self._commutator_ids: Optional[np.ndarray] = None
         self._subgroup_cache: Dict[Tuple[int, ...], np.ndarray] = {}
         self.cache_reused: Optional[bool] = None
+        self.full_enumeration = False
+        self._kernel_rows: Optional[np.ndarray] = None
+        self._row_index: Optional[_RowIndex] = None
+        kernel = None
+        if not _KERNEL_DISABLED:
+            factory = getattr(group, "dense_kernel", None)
+            kernel = factory() if factory is not None else None
+        self.kernel = kernel
         order = _cheap_order(group)
         self.group_order = order
-        self.mode = "table" if order is not None and order <= table_limit else "sparse"
+        if order is not None and order <= table_limit:
+            self.mode = "table"
+        elif (
+            kernel is not None
+            and kernel_limit is not None
+            and order is not None
+            and order <= kernel_limit
+        ):
+            self.mode = "kernel"
+        else:
+            self.mode = "sparse"
         with obs_span("engine.build", group=group.name, mode=self.mode) as build_span:
-            if self.mode == "table":
-                for element in group.element_list():
-                    self.intern(element)
-                n = len(self._elements)
-                if cache_dir is not None:
-                    self._attach_persistent_tables(cache_dir, n)
-                    build_span.add(
-                        "cache_hit" if self.cache_reused else "cache_miss"
+            if self.mode in ("table", "kernel"):
+                if self.mode == "kernel":
+                    # Row-space enumeration: the scalar element_list() BFS
+                    # is the dominant cold cost past the table limit, so
+                    # kernel mode enumerates by bulk kernel calls instead
+                    # (table mode keeps element_list() order — its ids are
+                    # shared with scalar paths and the persistent cache).
+                    rows = _kernel_enumerate_rows(
+                        self.kernel,
+                        np.asarray(self.kernel.encode_many([group.identity()]))[0],
+                        np.asarray(self.kernel.encode_many(group.generators())),
                     )
-                if self._table is None:
-                    self._table = np.full((n, n), -1, dtype=np.int32)
-                    self._inv_table = np.full(n, -1, dtype=np.int32)
+                    if order is not None and rows.shape[0] != order:
+                        raise GroupError(
+                            f"kernel enumeration found {rows.shape[0]} elements "
+                            f"of {group.name}, expected {order}"
+                        )
+                    for element in self.kernel.decode_many(rows):
+                        self.intern(element)
+                else:
+                    for element in group.element_list():
+                        self.intern(element)
+                n = len(self._elements)
+                self.full_enumeration = True
+                if self.mode == "table":
+                    if cache_dir is not None:
+                        self._attach_persistent_tables(cache_dir, n)
+                        build_span.add(
+                            "cache_hit" if self.cache_reused else "cache_miss"
+                        )
+                    if self._table is None:
+                        self._table = np.full((n, n), -1, dtype=np.int32)
+                        self._inv_table = np.full(n, -1, dtype=np.int32)
+                if self.kernel is not None:
+                    self._kernel_rows = np.ascontiguousarray(
+                        self.kernel.encode_many(self._elements), dtype=np.int64
+                    )
+                    self._row_index = _RowIndex(self._kernel_rows)
+                    if self.mode == "kernel":
+                        # One bulk kernel pass replaces n lazy scalar fills.
+                        self._inv_table = np.empty(n, dtype=np.int64)
+                        self._inv_table[:] = self._bulk_inverses(
+                            np.arange(n, dtype=np.int64)
+                        )
             self.identity_id = self.intern(group.identity())
             build_span.add("interned", len(self._elements))
 
@@ -229,7 +414,7 @@ class CayleyBackend:
         found = self._ids.get(element)
         if found is not None:
             return found
-        if self.mode == "table" and self._table is not None:
+        if self.full_enumeration:
             raise GroupError(
                 f"element {element!r} is not in the enumerated group {self.group.name}"
             )
@@ -239,7 +424,20 @@ class CayleyBackend:
         return new_id
 
     def intern_many(self, elements: Iterable) -> np.ndarray:
-        return np.fromiter((self.intern(e) for e in elements), dtype=np.int64)
+        if isinstance(elements, np.ndarray):
+            # Already an id array: the id-native fast path is a no-op.
+            if elements.dtype == np.int64:
+                return elements
+            if np.issubdtype(elements.dtype, np.integer):
+                return elements.astype(np.int64)
+        size = len(elements) if hasattr(elements, "__len__") else None
+        if size == 0:
+            return np.empty(0, dtype=np.int64)
+        if size is not None:
+            return np.fromiter(
+                (self.intern(e) for e in elements), dtype=np.int64, count=size
+            )
+        return np.asarray([self.intern(e) for e in elements], dtype=np.int64)
 
     def element_of(self, element_id: int):
         return self._elements[int(element_id)]
@@ -251,18 +449,45 @@ class CayleyBackend:
     def interned_count(self) -> int:
         return len(self._elements)
 
+    # -- bulk kernel primitives ------------------------------------------------
+    def _bulk_products(self, ids_a: np.ndarray, ids_b: np.ndarray) -> np.ndarray:
+        """Products of id arrays through the dense kernel (no scalar multiply)."""
+        start = time.perf_counter() if obs_metrics.collecting() else None
+        rows = self.kernel.compose_many(self._kernel_rows[ids_a], self._kernel_rows[ids_b])
+        ids = self._row_index.lookup(rows)
+        if start is not None:
+            obs_metrics.observe("engine.bulk.mul", time.perf_counter() - start)
+        return ids
+
+    def _bulk_inverses(self, ids: np.ndarray) -> np.ndarray:
+        start = time.perf_counter() if obs_metrics.collecting() else None
+        out = self._row_index.lookup(self.kernel.inverse_many(self._kernel_rows[ids]))
+        if start is not None:
+            obs_metrics.observe("engine.bulk.inv", time.perf_counter() - start)
+        return out
+
     # -- scalar primitives ----------------------------------------------------
     def _fill_product(self, a: int, b: int) -> int:
         """Compute one uncached product; the miss path, timed when observed."""
         start = time.perf_counter() if obs_metrics.collecting() else None
-        value = self.intern(self.group.multiply(self._elements[a], self._elements[b]))
+        if self._kernel_rows is not None:
+            value = int(
+                self._bulk_products(
+                    np.asarray([a], dtype=np.int64), np.asarray([b], dtype=np.int64)
+                )[0]
+            )
+        else:
+            value = self.intern(self.group.multiply(self._elements[a], self._elements[b]))
         if start is not None:
             obs_metrics.observe("engine.fill.mul", time.perf_counter() - start)
         return value
 
     def _fill_inverse(self, a: int) -> int:
         start = time.perf_counter() if obs_metrics.collecting() else None
-        value = self.intern(self.group.inverse(self._elements[a]))
+        if self._kernel_rows is not None:
+            value = int(self._bulk_inverses(np.asarray([a], dtype=np.int64))[0])
+        else:
+            value = self.intern(self.group.inverse(self._elements[a]))
         if start is not None:
             obs_metrics.observe("engine.fill.inv", time.perf_counter() - start)
         return value
@@ -321,9 +546,24 @@ class CayleyBackend:
         if self._table is not None:
             out = self._table[ids_a, ids_b].astype(np.int64)
             missing = np.flatnonzero(out < 0)
-            for idx in missing:
-                out[idx] = self.mul(int(ids_a[idx]), int(ids_b[idx]))
+            if missing.size:
+                if self._kernel_rows is not None:
+                    # Bulk fill: one kernel call computes every missing
+                    # product and writes it back into the lazy table.
+                    filled = self._bulk_products(ids_a[missing], ids_b[missing])
+                    out[missing] = filled
+                    self._table[ids_a[missing], ids_b[missing]] = filled
+                else:
+                    for idx in missing:
+                        out[idx] = self.mul(int(ids_a[idx]), int(ids_b[idx]))
             return out
+        if self.mode == "kernel":
+            if ids_a.size == 0:
+                return np.empty(0, dtype=np.int64)
+            if ids_a.size > 8:
+                return self._bulk_products(ids_a, ids_b)
+            # Tiny batches (deep BFS levels degenerate to a few pairs) are
+            # overhead-bound in the kernel: the memoized scalar path wins.
         return np.fromiter(
             (self.mul(a, b) for a, b in zip(ids_a, ids_b)), dtype=np.int64, count=len(ids_a)
         )
@@ -334,8 +574,14 @@ class CayleyBackend:
         if self._inv_table is not None:
             out = self._inv_table[ids].astype(np.int64)
             missing = np.flatnonzero(out < 0)
-            for idx in missing:
-                out[idx] = self.inv(int(ids[idx]))
+            if missing.size:
+                if self._kernel_rows is not None:
+                    filled = self._bulk_inverses(ids[missing])
+                    out[missing] = filled
+                    self._inv_table[ids[missing]] = filled
+                else:
+                    for idx in missing:
+                        out[idx] = self.inv(int(ids[idx]))
             return out
         return np.fromiter((self.inv(a) for a in ids), dtype=np.int64, count=len(ids))
 
@@ -364,7 +610,7 @@ class CayleyBackend:
         if include_inverses and gen_ids.size:
             gen_ids = np.unique(np.concatenate([gen_ids, self.inv_many(gen_ids)]))
         seed = np.unique(np.asarray(seed_ids, dtype=np.int64))
-        if self._table is not None:
+        if self.full_enumeration:
             # Dense membership: one boolean flag per group element, one
             # vectorised product block per BFS level.
             member = np.zeros(len(self._elements), dtype=bool)
@@ -391,19 +637,46 @@ class CayleyBackend:
             frontier = np.asarray(fresh, dtype=np.int64)
         return np.asarray(sorted(seen), dtype=np.int64)
 
+    def _cyclic_power_ids(self, gen_id: int) -> np.ndarray:
+        """Ids of the cyclic subgroup ``<g>`` by shift doubling.
+
+        Maintains the invariant ``powers = [g^0, ..., g^{k-1}]`` with
+        ``pivot = g^k``; each level appends ``powers * pivot`` (the next
+        ``k`` powers in one bulk product) and squares the pivot, so the
+        whole chain costs ``O(log ord g)`` vectorised calls.  The first
+        already-seen entry of a block is ``g^ord``, which truncates the
+        final block exactly.
+        """
+        if gen_id == self.identity_id:
+            return np.asarray([self.identity_id], dtype=np.int64)
+        powers = np.asarray([self.identity_id, gen_id], dtype=np.int64)
+        seen = np.zeros(len(self._elements), dtype=bool)
+        seen[powers] = True
+        pivot = int(self.mul_many([gen_id], [gen_id])[0])
+        while True:
+            block = self.mul_many(powers, np.full(powers.size, pivot, dtype=np.int64))
+            dup = seen[block]
+            if dup.any():
+                cut = int(np.argmax(dup))
+                return np.concatenate([powers, block[:cut]])
+            seen[block] = True
+            powers = np.concatenate([powers, block])
+            pivot = int(self.mul_many([pivot], [pivot])[0])
+
     def subgroup_ids(
         self, generator_ids: Sequence[int], limit: Optional[int] = None, memoize: bool = True
     ) -> np.ndarray:
         """Ids of the subgroup generated by ``generator_ids``.
 
-        In table mode the closure uses the doubling strategy — each level
-        multiplies the new elements against the whole current set — so a
-        cyclic group of order ``n`` closes in ``O(log n)`` vectorised levels
-        rather than ``n`` generator steps.  Sparse mode falls back to the
-        generator-step orbit closure.  ``memoize=False`` skips the closure
-        cache — use it for one-off generating sets (e.g. incremental
-        re-closures seeded with a whole member set) whose keys would never
-        be hit again.
+        With a batch kernel the closure seeds each generator's cyclic
+        subgroup by shift doubling (``O(log ord)`` bulk products apiece),
+        then finishes with budgeted doubling and a linear generator-step
+        tail; without one it keeps the pre-kernel quadratic doubling, whose
+        pair products double as lazy table fills.  Sparse mode falls back
+        to the generator-step orbit closure.  ``memoize=False`` skips the
+        closure cache — use it for one-off generating sets (e.g.
+        incremental re-closures seeded with a whole member set) whose keys
+        would never be hit again.
         """
         gen_ids = np.unique(np.asarray(generator_ids, dtype=np.int64))
         if gen_ids.size == 0:
@@ -415,18 +688,69 @@ class CayleyBackend:
                 if limit is not None and cached.size > limit:
                     raise GroupError(f"subgroup closure exceeded limit {limit}")
                 return cached
-        if self._table is None:
+        if not self.full_enumeration:
             closure = self.orbit_closure([self.identity_id], gen_ids, limit=limit)
             if key is not None:
                 self._subgroup_cache[key] = closure
             return closure
-        current = np.unique(
-            np.concatenate([gen_ids, self.inv_many(gen_ids), [self.identity_id]])
-        )
+        if self._kernel_rows is None:
+            # Pre-kernel closure, kept byte-for-byte for engines without a
+            # batch kernel (including everything built under
+            # ``kernel_disabled()``): plain quadratic doubling, whose pair
+            # products double as lazy table fills.  ``bench_scaling``
+            # baselines rely on this branch reproducing the pre-refactor
+            # engine path exactly.
+            current = np.unique(
+                np.concatenate([gen_ids, self.inv_many(gen_ids), [self.identity_id]])
+            )
+            member = np.zeros(len(self._elements), dtype=bool)
+            member[current] = True
+            frontier = current
+            while frontier.size:
+                # Both orders: a pair (a, b) with b discovered after a is
+                # covered at b's level, where a is in `current` — a*b by the
+                # second block and b*a by the first.
+                left = self.mul_many(
+                    np.repeat(frontier, current.size), np.tile(current, frontier.size)
+                )
+                right = self.mul_many(
+                    np.repeat(current, frontier.size), np.tile(frontier, current.size)
+                )
+                products = np.unique(np.concatenate([left, right]))
+                fresh = products[~member[products]]
+                member[fresh] = True
+                current = np.flatnonzero(member).astype(np.int64)
+                if limit is not None and current.size > limit:
+                    raise GroupError(f"subgroup closure exceeded limit {limit}")
+                frontier = fresh
+            if key is not None:
+                self._subgroup_cache[key] = current
+            return current
+        gens_ext = np.unique(np.concatenate([gen_ids, self.inv_many(gen_ids)]))
         member = np.zeros(len(self._elements), dtype=bool)
-        member[current] = True
+        member[gens_ext] = True
+        member[self.identity_id] = True
+        # Seed with the cyclic subgroup of every generator: shift doubling
+        # delivers each ``<g>`` in O(log ord g) bulk products, so near-cyclic
+        # subgroups — hidden rotation subgroups are the common case — close
+        # in a couple of further levels instead of a quadratic cascade.
+        for gen in gen_ids:
+            member[self._cyclic_power_ids(int(gen))] = True
+            if limit is not None and int(member.sum()) > limit:
+                raise GroupError(f"subgroup closure exceeded limit {limit}")
+        current = np.flatnonzero(member).astype(np.int64)
         frontier = current
-        while frontier.size:
+        # Doubling closes in O(log |H|) levels but its total pair count is
+        # quadratic in |H|, so each level must fit a pair budget; past it
+        # the closure switches to generator-step BFS, whose total pair
+        # count is |H| * |gens_ext|.  The switch is complete: every member
+        # outside the live frontier was already multiplied by all of
+        # ``gens_ext`` (a subset of ``current`` since level 0).  Table mode
+        # memoizes pairs in the int32 table so its budget is generous;
+        # kernel mode recomputes every pair through the batch kernel plus a
+        # row search and leans on the linear tail much sooner.
+        pair_budget = (1 << 22) if self.mode == "table" else (1 << 17)
+        while frontier.size and frontier.size * current.size * 2 <= pair_budget:
             # Both orders: a pair (a, b) with b discovered after a is covered
             # at b's level, where a is in `current` — a*b by the second block
             # and b*a by the first.
@@ -439,6 +763,16 @@ class CayleyBackend:
             if limit is not None and current.size > limit:
                 raise GroupError(f"subgroup closure exceeded limit {limit}")
             frontier = fresh
+        while frontier.size:
+            products = np.unique(
+                self.mul_many(np.repeat(frontier, gens_ext.size), np.tile(gens_ext, frontier.size))
+            )
+            fresh = products[~member[products]]
+            member[fresh] = True
+            if limit is not None and int(member.sum()) > limit:
+                raise GroupError(f"subgroup closure exceeded limit {limit}")
+            frontier = fresh
+        current = np.flatnonzero(member).astype(np.int64)
         if key is not None:
             self._subgroup_cache[key] = current
         return current
@@ -504,6 +838,19 @@ class CayleyBackend:
         cached = self._order_cache.get(element_id)
         if cached is not None:
             return cached
+        bound = self.group.exponent_bound() if self.mode == "kernel" else None
+        if bound is not None:
+            # Kernel mode has no n^2 table to amortise a linear walk into;
+            # divide primes out of the exponent bound instead (O(log) muls).
+            from repro.linalg.modular import element_order_from_exponent
+
+            order = element_order_from_exponent(
+                lambda k: self.power(element_id, k),
+                lambda i: int(i) == self.identity_id,
+                bound,
+            )
+            self._order_cache[element_id] = order
+            return order
         order = 1
         current = element_id
         cap = self.group_order if self.group_order is not None else _ORDER_ITERATION_LIMIT
@@ -529,10 +876,43 @@ class CayleyBackend:
         subgroup_ids = np.asarray(subgroup_ids, dtype=np.int64)
         if self._table is not None:
             row = self._table[element_id, subgroup_ids]
-            for idx in np.flatnonzero(row < 0):
-                row[idx] = self.mul(element_id, int(subgroup_ids[idx]))
+            missing = np.flatnonzero(row < 0)
+            if missing.size:
+                if self._kernel_rows is not None:
+                    filled = self._bulk_products(
+                        np.full(missing.size, element_id, dtype=np.int64),
+                        subgroup_ids[missing],
+                    )
+                    row[missing] = filled
+                    self._table[element_id, subgroup_ids[missing]] = filled
+                else:
+                    for idx in missing:
+                        row[idx] = self.mul(element_id, int(subgroup_ids[idx]))
             return int(row.min())
+        if self.mode == "kernel":
+            return int(
+                self._bulk_products(
+                    np.full(subgroup_ids.size, element_id, dtype=np.int64), subgroup_ids
+                ).min()
+            )
         return min(self.mul(element_id, int(b)) for b in subgroup_ids)
+
+    def coset_label_many(self, element_ids: Sequence[int], subgroup_ids: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`coset_label` over a whole block of elements.
+
+        One products block of shape ``(len(element_ids), len(subgroup_ids))``
+        followed by a row-wise minimum; callers chunk when the block would be
+        large.  Labels are identical to the scalar :meth:`coset_label` calls.
+        """
+        element_ids = np.asarray(element_ids, dtype=np.int64)
+        subgroup_ids = np.asarray(subgroup_ids, dtype=np.int64)
+        if element_ids.size == 0:
+            return np.empty(0, dtype=np.int64)
+        products = self.mul_many(
+            np.repeat(element_ids, subgroup_ids.size),
+            np.tile(subgroup_ids, element_ids.size),
+        )
+        return products.reshape(element_ids.size, subgroup_ids.size).min(axis=1)
 
     # -- diagnostics ---------------------------------------------------------------
     def stats(self) -> Dict[str, int]:
@@ -548,6 +928,8 @@ class CayleyBackend:
                 int((self._inv_table >= 0).sum()) if self._inv_table is not None else len(self._inv_cache)
             ),
             "table_mode": int(self.mode == "table"),
+            "kernel_mode": int(self.mode == "kernel"),
+            "has_kernel": int(self.kernel is not None),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -558,6 +940,7 @@ def get_engine(
     group: FiniteGroup,
     table_limit: int = DEFAULT_TABLE_LIMIT,
     cache_dir: Optional[str] = None,
+    kernel_limit: Optional[int] = None,
 ) -> CayleyBackend:
     """The engine installed on ``group``, building (and installing) one if absent.
 
@@ -568,7 +951,9 @@ def get_engine(
     """
     engine = getattr(group, "_cayley_engine", None)
     if engine is None:
-        engine = CayleyBackend(group, table_limit=table_limit, cache_dir=cache_dir)
+        engine = CayleyBackend(
+            group, table_limit=table_limit, cache_dir=cache_dir, kernel_limit=kernel_limit
+        )
         group._cayley_engine = engine
     return engine
 
@@ -576,6 +961,34 @@ def get_engine(
 #: When true, :func:`maybe_engine` declines to build or return engines; set
 #: through :func:`engine_disabled` to force the scalar per-element paths.
 _ENGINE_DISABLED = False
+
+#: When true, newly built engines ignore dense kernels entirely — table
+#: fills revert to per-pair scalar ``multiply`` and the ``"kernel"`` mode is
+#: unavailable.  Set through :func:`kernel_disabled`; this reproduces the
+#: pre-kernel engine exactly and is the baseline configuration of the
+#: scaling benchmark.
+_KERNEL_DISABLED = False
+
+
+@contextmanager
+def kernel_disabled():
+    """Context manager forcing engines built inside it onto scalar fills.
+
+    Unlike :func:`engine_disabled` the Cayley engine itself stays on — ids,
+    lazy tables and memoisation all work as before the dense kernels existed
+    — but no :class:`~repro.groups.base.DenseKernel` is consulted, so every
+    table fill goes through the group's scalar ``multiply``/``inverse``.
+    Query accounting is unaffected (the engine never counts).  Engines
+    *already installed* on a group keep their kernels; the context only
+    affects constructions inside it.
+    """
+    global _KERNEL_DISABLED
+    previous = _KERNEL_DISABLED
+    _KERNEL_DISABLED = True
+    try:
+        yield
+    finally:
+        _KERNEL_DISABLED = previous
 
 
 @contextmanager
@@ -722,4 +1135,6 @@ def maybe_engine(
         hash(group.identity())
     except TypeError:
         return None
-    return get_engine(group, table_limit=table_limit, cache_dir=cache_dir)
+    return get_engine(
+        group, table_limit=table_limit, cache_dir=cache_dir, kernel_limit=intern_limit
+    )

@@ -22,12 +22,47 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.groups.base import FiniteGroup, GroupError
+from repro.groups.base import DenseKernel, FiniteGroup, GroupError
 from repro.linalg.modular import is_probable_prime
 
 __all__ = ["HeisenbergGroup", "extraspecial_group"]
 
 HeisElement = Tuple[Tuple[int, ...], Tuple[int, ...], int]
+
+
+class _HeisenbergKernel(DenseKernel):
+    """Rows are ``[a | b | c]`` concatenations of width ``2n + 1``."""
+
+    def __init__(self, p: int, n: int):
+        self.p = p
+        self.n = n
+        self.width = 2 * n + 1
+
+    def encode_many(self, elements: Sequence[HeisElement]) -> np.ndarray:
+        if not elements:
+            return np.empty((0, self.width), dtype=np.int64)
+        return np.asarray([list(a) + list(b) + [c] for a, b, c in elements], dtype=np.int64)
+
+    def decode_many(self, rows: np.ndarray) -> List[HeisElement]:
+        n = self.n
+        return [
+            (tuple(int(v) for v in row[:n]), tuple(int(v) for v in row[n : 2 * n]), int(row[2 * n]))
+            for row in rows
+        ]
+
+    def compose_many(self, rows_a: np.ndarray, rows_b: np.ndarray) -> np.ndarray:
+        p, n = self.p, self.n
+        out = (rows_a + rows_b) % p
+        cross = np.einsum("ij,ij->i", rows_a[:, :n], rows_b[:, n : 2 * n])
+        out[:, 2 * n] = (rows_a[:, 2 * n] + rows_b[:, 2 * n] + cross) % p
+        return out
+
+    def inverse_many(self, rows: np.ndarray) -> np.ndarray:
+        p, n = self.p, self.n
+        out = (-rows) % p
+        cross = np.einsum("ij,ij->i", rows[:, :n], rows[:, n : 2 * n])
+        out[:, 2 * n] = (-rows[:, 2 * n] + cross) % p
+        return out
 
 
 class HeisenbergGroup(FiniteGroup):
@@ -98,6 +133,12 @@ class HeisenbergGroup(FiniteGroup):
         b = tuple(int(rng.integers(0, self.p)) for _ in range(self.n))
         c = int(rng.integers(0, self.p))
         return (a, b, c)
+
+    def dense_kernel(self) -> Optional[_HeisenbergKernel]:
+        # The cross-term dot products must stay inside int64.
+        if self.p >= (1 << 31) or self.n * self.p * self.p >= (1 << 62):
+            return None
+        return _HeisenbergKernel(self.p, self.n)
 
     # -- extraspecial structure -----------------------------------------------------
     def center_generators(self) -> List[HeisElement]:

@@ -18,11 +18,13 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.groups.base import FiniteGroup, GroupError
+from repro.groups.base import DenseKernel, FiniteGroup, GroupError
 
 __all__ = [
     "compose",
     "invert",
+    "compose_many",
+    "invert_many",
     "permutation_from_cycles",
     "cycle_decomposition",
     "permutation_order",
@@ -42,17 +44,45 @@ Perm = Tuple[int, ...]
 # ---------------------------------------------------------------------------
 
 
+def _compose_images(ps: np.ndarray, qs: np.ndarray) -> np.ndarray:
+    """The one composition kernel: image rows of ``p * q`` (apply ``q`` first).
+
+    Works on single image vectors (1-D) and on ``(n, degree)`` batches alike
+    — ``axis=-1`` fancy-indexes each row of ``ps`` by the matching row of
+    ``qs``.  Both the scalar wrappers and the batch API call through here.
+    """
+    return np.take_along_axis(ps, qs, axis=-1)
+
+
+def _invert_images(ps: np.ndarray) -> np.ndarray:
+    """Row-wise inverses: the argsort of a permutation's images is its inverse."""
+    return np.argsort(ps, axis=-1, kind="stable")
+
+
 def compose(p: Perm, q: Perm) -> Perm:
     """``p * q``: apply ``q`` first, then ``p``."""
-    return tuple(p[q[i]] for i in range(len(p)))
+    images = _compose_images(np.asarray(p, dtype=np.int64), np.asarray(q, dtype=np.int64))
+    return tuple(int(v) for v in images)
 
 
 def invert(p: Perm) -> Perm:
     """Inverse permutation."""
-    out = [0] * len(p)
-    for i, image in enumerate(p):
-        out[image] = i
-    return tuple(out)
+    images = _invert_images(np.asarray(p, dtype=np.int64))
+    return tuple(int(v) for v in images)
+
+
+def compose_many(ps: np.ndarray, qs: np.ndarray) -> np.ndarray:
+    """Row-wise composition of two ``(n, degree)`` image matrices."""
+    ps = np.asarray(ps, dtype=np.int64)
+    qs = np.asarray(qs, dtype=np.int64)
+    if ps.shape != qs.shape:
+        raise GroupError("compose_many requires image matrices of equal shape")
+    return _compose_images(ps, qs)
+
+
+def invert_many(ps: np.ndarray) -> np.ndarray:
+    """Row-wise inverses of an ``(n, degree)`` image matrix."""
+    return _invert_images(np.asarray(ps, dtype=np.int64))
 
 
 def permutation_from_cycles(degree: int, cycles: Sequence[Sequence[int]]) -> Perm:
@@ -100,6 +130,27 @@ def permutation_sign(p: Perm) -> int:
     """Sign (+1/-1) of a permutation."""
     parity = sum(len(c) - 1 for c in cycle_decomposition(p))
     return -1 if parity % 2 else 1
+
+
+class _PermKernel(DenseKernel):
+    """Dense rows are the image vectors themselves: ``width == degree``."""
+
+    def __init__(self, degree: int):
+        self.width = degree
+
+    def encode_many(self, elements: Sequence[Perm]) -> np.ndarray:
+        if not elements:
+            return np.empty((0, self.width), dtype=np.int64)
+        return np.asarray(list(elements), dtype=np.int64)
+
+    def decode_many(self, rows: np.ndarray) -> List[Perm]:
+        return [tuple(int(v) for v in row) for row in rows]
+
+    def compose_many(self, rows_a: np.ndarray, rows_b: np.ndarray) -> np.ndarray:
+        return _compose_images(rows_a, rows_b)
+
+    def inverse_many(self, rows: np.ndarray) -> np.ndarray:
+        return _invert_images(rows)
 
 
 # ---------------------------------------------------------------------------
@@ -270,6 +321,9 @@ class PermutationGroup(FiniteGroup):
         if self.degree < 256:
             return tuple(code)
         return tuple(eval(code.decode()))  # noqa: S307 - diagnostics only
+
+    def dense_kernel(self) -> _PermKernel:
+        return _PermKernel(self.degree)
 
     # -- structure ---------------------------------------------------------------
     @property

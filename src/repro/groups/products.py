@@ -21,7 +21,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.groups.abelian import AbelianTupleGroup, cyclic_group, elementary_abelian_group
-from repro.groups.base import FiniteGroup, GroupError
+from repro.groups.base import DenseKernel, FiniteGroup, GroupError
 from repro.linalg.modular import lcm, multiplicative_order
 
 __all__ = [
@@ -32,6 +32,104 @@ __all__ = [
     "metacyclic_group",
     "generalized_dihedral",
 ]
+
+
+class _ConcatKernel(DenseKernel):
+    """Shared row layout for product kernels: factor rows concatenated."""
+
+    def __init__(self, kernels: Sequence[DenseKernel]):
+        self.kernels = list(kernels)
+        self.offsets: List[Tuple[int, int]] = []
+        start = 0
+        for kernel in self.kernels:
+            self.offsets.append((start, start + kernel.width))
+            start += kernel.width
+        self.width = start
+
+    def _slices(self, rows: np.ndarray) -> List[np.ndarray]:
+        return [rows[:, lo:hi] for lo, hi in self.offsets]
+
+
+class _DirectProductKernel(_ConcatKernel):
+    def __init__(self, factors: Sequence[FiniteGroup], kernels: Sequence[DenseKernel]):
+        super().__init__(kernels)
+        self.factors = list(factors)
+
+    def encode_many(self, elements: Sequence) -> np.ndarray:
+        rows = np.empty((len(elements), self.width), dtype=np.int64)
+        for kernel, (lo, hi), parts in zip(
+            self.kernels, self.offsets, zip(*elements) if elements else [() for _ in self.kernels]
+        ):
+            rows[:, lo:hi] = kernel.encode_many(list(parts))
+        return rows
+
+    def decode_many(self, rows: np.ndarray) -> List:
+        columns = [kernel.decode_many(part) for kernel, part in zip(self.kernels, self._slices(rows))]
+        return [tuple(parts) for parts in zip(*columns)] if len(rows) else []
+
+    def compose_many(self, rows_a: np.ndarray, rows_b: np.ndarray) -> np.ndarray:
+        out = np.empty_like(rows_a)
+        for kernel, (lo, hi) in zip(self.kernels, self.offsets):
+            out[:, lo:hi] = kernel.compose_many(rows_a[:, lo:hi], rows_b[:, lo:hi])
+        return out
+
+    def inverse_many(self, rows: np.ndarray) -> np.ndarray:
+        out = np.empty_like(rows)
+        for kernel, (lo, hi) in zip(self.kernels, self.offsets):
+            out[:, lo:hi] = kernel.inverse_many(rows[:, lo:hi])
+        return out
+
+
+class _SemidirectKernel(_ConcatKernel):
+    """Rows are ``[n_row | k_row]``; the action runs as one array expression.
+
+    ``array_action(k_rows, n_rows)`` must be the vectorized twin of the
+    scalar ``action(k, n)`` — row ``i`` of the result is
+    ``encode(action(decode(k_rows[i]), decode(n_rows[i])))``.
+    """
+
+    def __init__(
+        self,
+        normal_kernel: DenseKernel,
+        quotient_kernel: DenseKernel,
+        array_action: Callable[[np.ndarray, np.ndarray], np.ndarray],
+    ):
+        super().__init__([normal_kernel, quotient_kernel])
+        self.normal_kernel = normal_kernel
+        self.quotient_kernel = quotient_kernel
+        self.array_action = array_action
+
+    def encode_many(self, elements: Sequence) -> np.ndarray:
+        rows = np.empty((len(elements), self.width), dtype=np.int64)
+        (n_lo, n_hi), (k_lo, k_hi) = self.offsets
+        rows[:, n_lo:n_hi] = self.normal_kernel.encode_many([n for n, _ in elements])
+        rows[:, k_lo:k_hi] = self.quotient_kernel.encode_many([k for _, k in elements])
+        return rows
+
+    def decode_many(self, rows: np.ndarray) -> List:
+        n_rows, k_rows = self._slices(rows)
+        return list(
+            zip(self.normal_kernel.decode_many(n_rows), self.quotient_kernel.decode_many(k_rows))
+        )
+
+    def compose_many(self, rows_a: np.ndarray, rows_b: np.ndarray) -> np.ndarray:
+        (n_lo, n_hi), (k_lo, k_hi) = self.offsets
+        n1, k1 = rows_a[:, n_lo:n_hi], rows_a[:, k_lo:k_hi]
+        n2, k2 = rows_b[:, n_lo:n_hi], rows_b[:, k_lo:k_hi]
+        out = np.empty_like(rows_a)
+        out[:, n_lo:n_hi] = self.normal_kernel.compose_many(n1, self.array_action(k1, n2))
+        out[:, k_lo:k_hi] = self.quotient_kernel.compose_many(k1, k2)
+        return out
+
+    def inverse_many(self, rows: np.ndarray) -> np.ndarray:
+        (n_lo, n_hi), (k_lo, k_hi) = self.offsets
+        k_inv = self.quotient_kernel.inverse_many(rows[:, k_lo:k_hi])
+        out = np.empty_like(rows)
+        out[:, n_lo:n_hi] = self.array_action(
+            k_inv, self.normal_kernel.inverse_many(rows[:, n_lo:n_hi])
+        )
+        out[:, k_lo:k_hi] = k_inv
+        return out
 
 
 class DirectProduct(FiniteGroup):
@@ -83,6 +181,12 @@ class DirectProduct(FiniteGroup):
     def uniform_random_element(self, rng: np.random.Generator):
         return tuple(f.random_element(rng) for f in self.factors)
 
+    def dense_kernel(self) -> Optional[_DirectProductKernel]:
+        kernels = [f.dense_kernel() for f in self.factors]
+        if any(kernel is None for kernel in kernels):
+            return None
+        return _DirectProductKernel(self.factors, kernels)
+
 
 class SemidirectProduct(FiniteGroup):
     """The (outer) semidirect product ``N : K``.
@@ -99,10 +203,12 @@ class SemidirectProduct(FiniteGroup):
         quotient: FiniteGroup,
         action: Callable[[object, object], object],
         name: Optional[str] = None,
+        array_action: Optional[Callable[[np.ndarray, np.ndarray], np.ndarray]] = None,
     ):
         self.normal = normal
         self.quotient = quotient
         self.action = action
+        self.array_action = array_action
         self.name = name or f"({normal.name}) : ({quotient.name})"
 
     def identity(self):
@@ -157,6 +263,15 @@ class SemidirectProduct(FiniteGroup):
     def normal_part_generators(self) -> List:
         return [self.embed_normal(n) for n in self.normal.generators()]
 
+    def dense_kernel(self) -> Optional[_SemidirectKernel]:
+        if self.array_action is None:
+            return None
+        normal_kernel = self.normal.dense_kernel()
+        quotient_kernel = self.quotient.dense_kernel()
+        if normal_kernel is None or quotient_kernel is None:
+            return None
+        return _SemidirectKernel(normal_kernel, quotient_kernel, self.array_action)
+
 
 # ---------------------------------------------------------------------------
 # Named families
@@ -182,7 +297,11 @@ def wreath_product_z2(k: int) -> SemidirectProduct:
             return vector
         return tuple(vector[k:]) + tuple(vector[:k])
 
-    return SemidirectProduct(base, top, action, name=f"Z_2^{k} wr Z_2")
+    def array_action(k_rows, n_rows):
+        swapped = np.concatenate([n_rows[:, k:], n_rows[:, :k]], axis=1)
+        return np.where(k_rows[:, :1] % 2 == 1, swapped, n_rows)
+
+    return SemidirectProduct(base, top, action, name=f"Z_2^{k} wr Z_2", array_action=array_action)
 
 
 def dihedral_semidirect(n: int) -> SemidirectProduct:
@@ -195,7 +314,12 @@ def dihedral_semidirect(n: int) -> SemidirectProduct:
     def action(k, x):
         return x if k[0] % 2 == 0 else rotation.inverse(x)
 
-    return SemidirectProduct(rotation, flip, action, name=f"D_{n}(semidirect)")
+    def array_action(k_rows, n_rows):
+        return np.where(k_rows[:, :1] % 2 == 1, (-n_rows) % n, n_rows)
+
+    return SemidirectProduct(
+        rotation, flip, action, name=f"D_{n}(semidirect)", array_action=array_action
+    )
 
 
 def metacyclic_group(p: int, q: int, multiplier: Optional[int] = None) -> SemidirectProduct:
@@ -222,7 +346,14 @@ def metacyclic_group(p: int, q: int, multiplier: Optional[int] = None) -> Semidi
         factor = pow(multiplier, k[0], p)
         return (x[0] * factor % p,)
 
-    return SemidirectProduct(base, top, action, name=f"Z_{p} : Z_{q}")
+    pow_table = np.asarray([pow(multiplier, j, p) for j in range(q)], dtype=np.int64)
+
+    def array_action(k_rows, n_rows):
+        # p < 2^31 is enforced by the Abelian kernel gate, so the products
+        # below stay inside int64.
+        return (n_rows * pow_table[k_rows[:, 0] % q][:, None]) % p
+
+    return SemidirectProduct(base, top, action, name=f"Z_{p} : Z_{q}", array_action=array_action)
 
 
 def generalized_dihedral(moduli: Sequence[int]) -> SemidirectProduct:
@@ -230,7 +361,14 @@ def generalized_dihedral(moduli: Sequence[int]) -> SemidirectProduct:
     base = AbelianTupleGroup(moduli)
     top = cyclic_group(2)
 
+    moduli_row = np.asarray(base.moduli, dtype=np.int64)
+
     def action(k, x):
         return x if k[0] % 2 == 0 else base.inverse(x)
 
-    return SemidirectProduct(base, top, action, name=f"Dih({base.name})")
+    def array_action(k_rows, n_rows):
+        return np.where(k_rows[:, :1] % 2 == 1, (-n_rows) % moduli_row, n_rows)
+
+    return SemidirectProduct(
+        base, top, action, name=f"Dih({base.name})", array_action=array_action
+    )

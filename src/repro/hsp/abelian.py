@@ -23,7 +23,12 @@ import numpy as np
 
 from repro.blackbox.oracle import HidingOracle, QueryCounter
 from repro.groups.abelian import AbelianTupleGroup
-from repro.linalg.zmodule import annihilator, canonical_generators, subgroup_contains, subgroup_order
+from repro.linalg.zmodule import (
+    annihilator,
+    canonical_generators,
+    subgroup_contains_many,
+    subgroup_order,
+)
 from repro.obs import span as obs_span
 from repro.quantum.sampling import AbelianHSPOracle, FourierSampler, TupleFunctionOracle
 
@@ -91,17 +96,31 @@ def solve_abelian_hsp(
             block = max(1, min(confidence - stable_rounds, max_rounds - rounds))
             new_samples = sampler.sample(oracle, block)
             rounds += len(new_samples)
-            for sample in new_samples:
-                samples.append(sample)
+            # Membership of the remaining block is decided in one batched
+            # lattice computation (one Smith form per current span); the scan
+            # restarts from the sample after an enlargement, so the per-sample
+            # decisions — and hence rounds and query totals — are identical
+            # to the scalar-membership loop.
+            idx = 0
+            while idx < len(new_samples):
+                pending = new_samples[idx:]
                 if dual_canonical:
-                    enlarges = not subgroup_contains(dual_canonical, sample, moduli)
+                    contained = subgroup_contains_many(dual_canonical, pending, moduli)
                 else:
-                    enlarges = any(v % m for v, m in zip(sample, moduli))
-                if enlarges:
+                    contained = [not any(v % m for v, m in zip(s, moduli)) for s in pending]
+                enlarged_at = None
+                for offset, (sample, inside) in enumerate(zip(pending, contained)):
+                    samples.append(sample)
+                    if inside:
+                        stable_rounds += 1
+                        continue
                     dual_canonical = canonical_generators(dual_canonical + [sample], moduli)
                     stable_rounds = 0
-                else:
-                    stable_rounds += 1
+                    enlarged_at = offset
+                    break
+                if enlarged_at is None:
+                    break
+                idx += enlarged_at + 1
             if stable_rounds >= confidence:
                 break
         sampling_span.add("rounds", rounds)

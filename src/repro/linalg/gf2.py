@@ -78,11 +78,13 @@ def gf2_nullspace(rows: Sequence[Sequence[int]]) -> np.ndarray:
     rref, pivots = gf2_rref(mat)
     free_cols = [c for c in range(n) if c not in pivots]
     basis = np.zeros((len(free_cols), n), dtype=np.uint8)
-    for i, free in enumerate(free_cols):
-        basis[i, free] = 1
-        for row_idx, pivot_col in enumerate(pivots):
-            if rref[row_idx, free]:
-                basis[i, pivot_col] = 1
+    if free_cols:
+        basis[np.arange(len(free_cols)), free_cols] = 1
+        if pivots:
+            # Basis vector i copies the free column i of the RREF into the
+            # pivot coordinates — one transposed slice instead of a loop
+            # over matrix entries.
+            basis[:, np.asarray(pivots)] = rref[: len(pivots), np.asarray(free_cols)].T
     return basis
 
 
@@ -99,8 +101,8 @@ def gf2_solve(rows: Sequence[Sequence[int]], rhs: Sequence[int]) -> Optional[np.
     if n in pivots:
         return None  # pivot in the augmented column: inconsistent system
     x = np.zeros(n, dtype=np.uint8)
-    for row_idx, col in enumerate(pivots):
-        x[col] = rref[row_idx, n]
+    if pivots:
+        x[np.asarray(pivots)] = rref[: len(pivots), n]
     return x
 
 

@@ -33,11 +33,26 @@ def load_trace_events(paths: Sequence[str]) -> List[Dict[str, Any]]:
     return events
 
 
+def _phase_of(name: str) -> str:
+    """The phase bucket of a span/timer name: the prefix before the first dot.
+
+    ``engine.build``, ``engine.fill.mul`` and ``engine.bulk.products`` all
+    land in the ``engine`` bucket; ``sampler.batch`` in ``sampler``; a name
+    without a dot is its own bucket.
+    """
+    return name.split(".", 1)[0]
+
+
 def summarise_trace(events: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
     """Aggregate span durations/counters and merge embedded metrics snapshots.
 
     Returns ``{"spans": {name: {count, total_s, mean_s, max_s, counters}},
-    "metrics": snapshot, "events": n, "workers": [...]}``.
+    "phases": {prefix: {span_count, span_s, timer_count, timer_s}},
+    "metrics": snapshot, "events": n, "workers": [...]}``.  Phases bucket
+    spans and metric timers by their name prefix (before the first dot), so
+    the engine's bulk-fill and batch-kernel work shows up as one ``engine``
+    line next to ``solver`` and ``sampler``.  Nested spans each count their
+    own wall time, so phase shares are of summed span time, not wall-clock.
     """
 
     spans: Dict[str, Dict[str, Any]] = {}
@@ -69,9 +84,27 @@ def summarise_trace(events: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
             merged.merge(Metrics.from_snapshot(entry["metrics"]))
     for bucket in spans.values():
         bucket["mean_s"] = bucket["total_s"] / bucket["count"]
+    snapshot = merged.snapshot()
+    phases: Dict[str, Dict[str, Any]] = {}
+
+    def phase_bucket(name: str) -> Dict[str, Any]:
+        return phases.setdefault(
+            _phase_of(name),
+            {"span_count": 0, "span_s": 0.0, "timer_count": 0, "timer_s": 0.0},
+        )
+
+    for name, bucket in spans.items():
+        phase = phase_bucket(name)
+        phase["span_count"] += bucket["count"]
+        phase["span_s"] += bucket["total_s"]
+    for name, timing in snapshot.get("timings", {}).items():
+        phase = phase_bucket(name)
+        phase["timer_count"] += int(timing["count"])
+        phase["timer_s"] += float(timing["total"])
     return {
         "spans": {name: spans[name] for name in sorted(spans)},
-        "metrics": merged.snapshot(),
+        "phases": {name: phases[name] for name in sorted(phases)},
+        "metrics": snapshot,
         "events": total,
         "workers": sorted(workers),
     }
@@ -92,6 +125,25 @@ def format_trace_summary(summary: Dict[str, Any]) -> str:
         f"{summary.get('events', 0)} trace event(s) from "
         f"{len(workers)} writer(s): {', '.join(workers) if workers else '-'}"
     )
+    phases = summary.get("phases", {})
+    if phases:
+        span_total = sum(bucket["span_s"] for bucket in phases.values())
+        ordered = sorted(
+            phases.items(), key=lambda item: (-item[1]["span_s"], -item[1]["timer_s"])
+        )
+        name_width = max(len("phase"), max(len(name) for name, _ in ordered))
+        lines.append("")
+        lines.append(
+            f"  {'phase'.ljust(name_width)}  {'spans':>6}  {'span total':>10}  "
+            f"{'share':>6}  {'timers':>6}  {'timer total':>11}"
+        )
+        for name, bucket in ordered:
+            share = bucket["span_s"] / span_total if span_total else 0.0
+            lines.append(
+                f"  {name.ljust(name_width)}  {bucket['span_count']:>6}  "
+                f"{_fmt_seconds(bucket['span_s']):>10}  {share:>5.1%}  "
+                f"{bucket['timer_count']:>6}  {_fmt_seconds(bucket['timer_s']):>11}"
+            )
     spans = summary.get("spans", {})
     if spans:
         ordered = sorted(spans.items(), key=lambda item: -item[1]["total_s"])

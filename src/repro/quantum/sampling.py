@@ -72,6 +72,14 @@ class AbelianHSPOracle(abc.ABC):
     def evaluate(self, element: Vector):
         """The hiding function value on ``element`` (hashable)."""
 
+    def evaluate_many(self, elements: Sequence[Vector]) -> List:
+        """Batch evaluation; same values as the scalar loop.
+
+        Subclasses with a vectorisable labelling override this (the
+        statevector backend's domain scan calls it once per oracle).
+        """
+        return [self.evaluate(x) for x in elements]
+
     @abc.abstractmethod
     def kernel_generators(self) -> List[Vector]:
         """Generators of the hidden subgroup (declared or computed once)."""
@@ -157,6 +165,11 @@ class SubgroupStructureOracle(AbelianHSPOracle):
         from repro.linalg.zmodule import coset_representative
 
         return coset_representative(element, self._generators, self.moduli)
+
+    def evaluate_many(self, elements: Sequence[Vector]) -> List:
+        from repro.linalg.zmodule import coset_representative_many
+
+        return coset_representative_many(list(elements), self._generators, self.moduli)
 
     def kernel_generators(self) -> List[Vector]:
         return list(self._generators)
@@ -308,10 +321,14 @@ class FourierSampler:
         flat = getattr(oracle, "_coset_probability_cache", None)
         if flat is None:
             identity_label = oracle.evaluate(module.identity())
+            # One batched oracle scan over the domain (iteration order is the
+            # C order of the moduli shape, so flat indexing lines up with the
+            # per-tuple assignment of the scalar path).
+            labels = oracle.evaluate_many(list(module.elements()))
             indicator = np.zeros(shape, dtype=np.float64)
-            for x in module.elements():
-                if oracle.evaluate(x) == identity_label:
-                    indicator[x] = 1.0
+            indicator.reshape(-1)[
+                [i for i, label in enumerate(labels) if label == identity_label]
+            ] = 1.0
             flat = qft_probabilities_of_coset(indicator).reshape(-1)
             oracle._coset_probability_cache = flat
         outcomes = self.rng.choice(flat.size, p=flat, size=count)

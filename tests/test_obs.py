@@ -326,8 +326,12 @@ class TestTraceSummary:
         assert run["counters"] == {"samples": 5}
         assert summary["metrics"]["counters"] == {"engine.cache.hit": 2}
         assert summary["workers"] == ["w1", "w2"]
+        # spans and metric timers bucket by name prefix into phases
+        assert summary["phases"]["run"]["span_count"] == 2
+        assert summary["phases"]["run"]["span_s"] == pytest.approx(4.0)
         rendered = obs.format_trace_summary(summary)
         assert "run" in rendered and "engine.cache.hit = 2" in rendered
+        assert "share" in rendered and "100.0%" in rendered
 
     def test_solver_phases_sampler_batches_and_engine_events_covered(self, tmp_path):
         trace = str(tmp_path / "trace.jsonl")
@@ -341,6 +345,12 @@ class TestTraceSummary:
         assert summary["spans"]["sampler.batch"]["counters"]["samples"] > 0
         # per-run metric deltas rode along as run_metrics events
         assert summary["metrics"]["timings"]  # linalg/engine timers present
+        # the phase buckets surface the engine's bulk-fill/batch-kernel work
+        # (spans plus engine.fill.* metric timers) next to solver and sampler
+        phases = summary["phases"]
+        assert {"solver", "sampler", "engine"} <= set(phases)
+        assert phases["engine"]["span_count"] > 0
+        assert phases["engine"]["timer_count"] > 0
 
 
 class TestTraceCLI:

@@ -9,7 +9,14 @@ from hypothesis import strategies as st
 
 from repro.groups.abelian import AbelianTupleGroup
 from repro.groups.extraspecial import HeisenbergGroup
-from repro.groups.perm import compose, invert, permutation_order, symmetric_group
+from repro.groups.perm import (
+    compose,
+    compose_many,
+    invert,
+    invert_many,
+    permutation_order,
+    symmetric_group,
+)
 from repro.linalg.gf2 import gf2_nullspace, gf2_rank
 from repro.linalg.hermite import hermite_normal_form, integer_kernel
 from repro.linalg.modular import crt, egcd, factorint, is_probable_prime
@@ -198,6 +205,38 @@ def test_permutation_inverse_and_order(p):
     for _ in range(order):
         power = compose(power, p)
     assert power == identity
+
+
+@st.composite
+def permutation_batches(draw):
+    """Matched batches of permutations as tuples and as image matrices."""
+    degree = draw(st.integers(min_value=1, max_value=8))
+    count = draw(st.integers(min_value=1, max_value=6))
+    ps = [tuple(draw(st.permutations(range(degree)))) for _ in range(count)]
+    qs = [tuple(draw(st.permutations(range(degree)))) for _ in range(count)]
+    return ps, qs
+
+
+@given(permutation_batches())
+def test_perm_batch_compose_matches_tuple_kernel(batch):
+    # The batch API and the scalar tuple API share one composition kernel;
+    # this pins the row-for-row parity the Cayley engine's DenseKernel
+    # protocol relies on.
+    ps, qs = batch
+    rows = compose_many(np.asarray(ps, dtype=np.int64), np.asarray(qs, dtype=np.int64))
+    assert [tuple(int(v) for v in row) for row in rows] == [
+        compose(p, q) for p, q in zip(ps, qs)
+    ]
+
+
+@given(permutation_batches())
+def test_perm_batch_invert_matches_tuple_kernel(batch):
+    ps, _ = batch
+    rows = invert_many(np.asarray(ps, dtype=np.int64))
+    assert [tuple(int(v) for v in row) for row in rows] == [invert(p) for p in ps]
+    identity = tuple(range(len(ps[0])))
+    roundtrip = compose_many(np.asarray(ps, dtype=np.int64), rows)
+    assert all(tuple(int(v) for v in row) == identity for row in roundtrip)
 
 
 @st.composite
