@@ -17,7 +17,11 @@ This package provides the classical counterpart of that interface:
 ``instances``
     builders that construct hiding oracles from explicitly known subgroups
     (for tests and benchmarks) while keeping the known subgroup out of the
-    solvers' reach.
+    solvers' reach;
+``noise``
+    declarative oracle/sampler corruption channels (:class:`NoiseSpec`) —
+    the single place where the paper's perfect-oracle assumption is
+    relaxed.
 """
 
 from repro.blackbox.oracle import BlackBoxGroup, HidingOracle, QueryCounter
@@ -27,13 +31,16 @@ from repro.blackbox.instances import (
     random_abelian_hsp_instance,
     subgroup_coset_label,
 )
+from repro.blackbox.noise import NoiseSpec, install_noise
 
 __all__ = [
     "QueryCounter",
     "BlackBoxGroup",
     "HidingOracle",
     "HSPInstance",
+    "NoiseSpec",
     "hiding_oracle_from_subgroup",
+    "install_noise",
     "subgroup_coset_label",
     "random_abelian_hsp_instance",
 ]

@@ -320,6 +320,7 @@ class HidingOracle:
         self._cache: Dict[Any, Any] = {}
         self._engine = None
         self._label_ids: Optional[Callable[[np.ndarray], Sequence]] = None
+        self.noise = None
 
     @property
     def dense_engine(self):
@@ -339,6 +340,59 @@ class HidingOracle:
         self._engine = engine
         self._label_ids = label_ids
         self._cache = migrated
+        if (
+            self.noise is not None
+            and label_ids is not None
+            and not getattr(label_ids, "_noise_wrapped", False)
+        ):
+            self._label_ids = self._wrap_label_ids(label_ids)
+
+    def apply_noise(self, channel) -> None:
+        """Install an oracle corruption channel *below* the cache and counter.
+
+        ``channel.replacement(element)`` decides, deterministically per
+        element, whether the answer for ``element`` is replaced by the true
+        label of another element (a uniformly random coset label for the
+        ``oracle-flip`` channel).  The wrap sits below :meth:`__call__`'s
+        cache and counter, so query accounting and cache behaviour are
+        byte-identical to the honest oracle — only answers change.  The
+        element-keyed decision makes every query path (scalar, batch,
+        dense-id, :meth:`fresh_view` copies) corrupt identically.
+        """
+        if self.noise is not None:
+            raise ValueError("a noise channel is already installed on this oracle")
+        from repro.obs import span as obs_span
+
+        self.noise = channel
+        honest_label = self._label
+        self._honest_label = honest_label
+
+        def noisy_label(element):
+            with obs_span("noise.oracle_flip") as noise_span:
+                replacement = channel.replacement(element)
+                noise_span.set(flipped=replacement is not None)
+            return honest_label(element if replacement is None else replacement)
+
+        self._label = noisy_label
+        if self._label_ids is not None:
+            self._label_ids = self._wrap_label_ids(self._label_ids)
+
+    def _wrap_label_ids(self, base_label_ids: Callable[[np.ndarray], Sequence]):
+        """The noisy twin of a vectorized labeller: same ids, corrupted answers."""
+        channel = self.noise
+        engine = self._engine
+        honest_label = self._honest_label
+
+        def noisy_label_ids(ids):
+            values = list(base_label_ids(ids))
+            for position, element in enumerate(engine.elements_of(ids)):
+                replacement = channel.replacement(element)
+                if replacement is not None:
+                    values[position] = honest_label(replacement)
+            return values
+
+        noisy_label_ids._noise_wrapped = True
+        return noisy_label_ids
 
     def __call__(self, element) -> Any:
         """A classical query to ``f`` (cached; the first evaluation counts)."""
@@ -409,9 +463,14 @@ class HidingOracle:
         """A new oracle sharing the labelling function but with fresh counters.
 
         A dense attachment (engine keying + vectorized labeller) carries
-        over; the cache does not, so the new view counts its own queries.
+        over, as does an installed noise channel (the shared labelling
+        closures are already the corrupted ones); the cache does not, so the
+        new view counts its own queries.
         """
         view = HidingOracle(self._label, QueryCounter(), self.hidden_subgroup_generators, self.description)
+        view.noise = self.noise
+        if self.noise is not None:
+            view._honest_label = self._honest_label
         if self._engine is not None:
             view.attach_dense(self._engine, self._label_ids)
         return view

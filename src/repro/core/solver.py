@@ -15,6 +15,7 @@ Strategy               When it is chosen
 ``hidden_normal``      the instance promises the hidden subgroup is normal
                        (Theorem 8)
 ``classical``          explicit opt-in exhaustive baseline
+``classical_adaptive`` explicit opt-in adaptive coset-sieve baseline
 =====================  ==========================================================
 
 Promise keys recognised in ``instance.promises``:
@@ -43,7 +44,7 @@ from repro.core.hidden_normal import find_hidden_normal_subgroup
 from repro.core.small_commutator import solve_hsp_small_commutator
 from repro.groups.base import FiniteGroup, GroupError
 from repro.hsp.abelian import solve_hsp_in_abelian_group
-from repro.hsp.baseline_classical import classical_exhaustive_hsp
+from repro.hsp.baseline_classical import classical_adaptive_hsp, classical_exhaustive_hsp
 from repro.obs import span as obs_span
 from repro.quantum.sampling import FourierSampler
 
@@ -52,13 +53,22 @@ __all__ = ["HSPSolution", "solve_hsp"]
 
 @dataclass
 class HSPSolution:
-    """The outcome of a top-level HSP solve."""
+    """The outcome of a top-level HSP solve.
+
+    ``status`` is ``"ok"`` for a solve that produced a candidate (right or
+    wrong — the caller verifies against the ground truth) and
+    ``"no_convergence"`` for a noisy solve whose strategy failed gracefully:
+    the dual-span accumulation never stabilised or the corrupted coset
+    structure broke a structural invariant.  ``no_convergence`` solutions
+    carry no generators; they are never silently presented as a subgroup.
+    """
 
     generators: List
     strategy: str
     elapsed_seconds: float
     query_report: Dict[str, int] = field(default_factory=dict)
     details: Optional[object] = None
+    status: str = "ok"
 
     def __iter__(self):
         return iter(self.generators)
@@ -103,6 +113,25 @@ def _choose_strategy(instance: HSPInstance) -> str:
     return "small_commutator"
 
 
+#: Every strategy :func:`solve_hsp` can dispatch to.
+KNOWN_STRATEGIES = frozenset(
+    {
+        "abelian",
+        "elementary_abelian_two",
+        "small_commutator",
+        "hidden_normal",
+        "classical",
+        "classical_adaptive",
+    }
+)
+
+#: Strategies that consume the ``confidence`` stopping override — directly
+#: (``abelian``) or through their Abelian-presentation subroutine
+#: (``hidden_normal``).  Passing ``confidence`` to any other strategy is a
+#: caller error and raises ``ValueError`` instead of being silently ignored.
+CONFIDENCE_STRATEGIES = frozenset({"abelian", "hidden_normal"})
+
+
 def solve_hsp(
     instance: HSPInstance,
     strategy: str = "auto",
@@ -110,41 +139,77 @@ def solve_hsp(
     rng: Optional[np.random.Generator] = None,
     use_engine: bool = True,
     confidence: Optional[int] = None,
+    noise=None,
 ) -> HSPSolution:
     """Solve a hidden subgroup instance with the appropriate paper algorithm.
 
     ``strategy`` may be ``"auto"`` (promise-driven dispatch), or one of
     ``"abelian"``, ``"elementary_abelian_two"``, ``"small_commutator"``,
-    ``"hidden_normal"``, ``"classical"``.  ``use_engine=False`` stops the
-    supporting strategies from *installing* a Cayley engine; an engine
-    already installed on the group (e.g. during instance construction) keeps
-    accelerating the batch APIs regardless.  The true scalar baseline —
-    instance construction included — is
+    ``"hidden_normal"``, ``"classical"``, ``"classical_adaptive"``.
+    ``use_engine=False`` stops the supporting strategies from *installing* a
+    Cayley engine; an engine already installed on the group (e.g. during
+    instance construction) keeps accelerating the batch APIs regardless.
+    The true scalar baseline — instance construction included — is
     :func:`repro.groups.engine.engine_disabled`, which the experiment
     harness uses.  Query accounting is identical either way.
 
     ``confidence`` overrides the Fourier-sampling stopping rule of the
     Abelian HSP core (the number of consecutive non-enlarging samples
-    required before stopping; failure probability ``<= 2^-confidence``).  It
-    reaches the ``abelian`` strategy directly and the ``hidden_normal``
-    strategy through its Abelian-presentation subroutine; strategies without
-    that sampling loop ignore it.  ``None`` keeps the defaults — small
-    values deliberately trade success probability for rounds, which is what
-    the success-vs-rounds statistics sweeps scan.
+    required before stopping; failure probability ``<= 2^-confidence``).
+    Only the ``abelian`` and ``hidden_normal`` strategies consume it (the
+    latter through its Abelian-presentation subroutine); combining it with
+    any other strategy raises ``ValueError`` rather than silently ignoring
+    the request.  ``None`` keeps the defaults — small values deliberately
+    trade success probability for rounds, which is what the
+    success-vs-rounds statistics sweeps scan.
+
+    ``noise`` declares that a corruption channel
+    (:class:`repro.blackbox.noise.NoiseSpec`) is installed on the oracle or
+    sampler.  A noisy solve is *termination-safe*: a strategy that raises on
+    inconsistent oracle rows (spurious cosets, unsatisfiable presentations,
+    a dual span that never stabilises) fails gracefully to
+    ``status="no_convergence"`` with no generators, never crashing the run
+    and never silently returning a wrong subgroup — callers verify any
+    ``"ok"`` candidate against the uncorrupted ground truth
+    (:meth:`~repro.blackbox.instances.HSPInstance.verify` uses concrete
+    group arithmetic, not the oracle).  Without ``noise`` exceptions
+    propagate unchanged.
     """
     sampler = sampler if sampler is not None else FourierSampler(rng=rng)
     with obs_span("solver.choose_strategy", requested=strategy) as choice_span:
         chosen = strategy if strategy != "auto" else _choose_strategy(instance)
         choice_span.set(strategy=chosen)
+    if chosen not in KNOWN_STRATEGIES:
+        raise GroupError(f"unknown strategy {chosen!r}")
+    if confidence is not None and chosen not in CONFIDENCE_STRATEGIES:
+        raise ValueError(
+            f"confidence={confidence!r} is not supported by the {chosen!r} strategy; "
+            f"only {sorted(CONFIDENCE_STRATEGIES)} consume the Fourier-sampling "
+            "stopping confidence"
+        )
     start = time.perf_counter()
     queries_before = instance.query_report()
 
     confidence_kwargs = {} if confidence is None else {"confidence": int(confidence)}
+    status = "ok"
 
-    with obs_span(f"solver.strategy.{chosen}") as strategy_span:
-        generators, result = _dispatch(
-            chosen, instance, sampler, use_engine, confidence_kwargs
-        )
+    with obs_span(f"solver.strategy.{chosen}", noisy=noise is not None) as strategy_span:
+        try:
+            generators, result = _dispatch(
+                chosen, instance, sampler, use_engine, confidence_kwargs
+            )
+            if noise is not None and not getattr(result, "converged", True):
+                generators, result, status = [], result, "no_convergence"
+        except Exception:
+            if noise is None:
+                raise
+            # Corrupted oracle rows legitimately break structural invariants
+            # (spurious cosets past the quotient bound, orders that do not
+            # divide the exponent, unsatisfiable relators).  Under a declared
+            # noise channel that is the expected failure mode: report it as
+            # no_convergence instead of crashing the run.
+            generators, result, status = [], None, "no_convergence"
+            strategy_span.set(no_convergence=True)
         for key, value in instance.query_report().items():
             delta = int(value) - int(queries_before.get(key, 0))
             if delta:
@@ -157,6 +222,7 @@ def solve_hsp(
         elapsed_seconds=elapsed,
         query_report=instance.query_report(),
         details=result,
+        status=status,
     )
 
 
@@ -204,6 +270,9 @@ def _dispatch(chosen, instance, sampler, use_engine, confidence_kwargs):
         generators = result.generators
     elif chosen == "classical":
         result = classical_exhaustive_hsp(instance)
+        generators = result.generators
+    elif chosen == "classical_adaptive":
+        result = classical_adaptive_hsp(instance)
         generators = result.generators
     else:
         raise GroupError(f"unknown strategy {chosen!r}")

@@ -39,6 +39,7 @@ import math
 import os
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.blackbox.noise import NoiseSpec
 from repro.experiments.results import _safe_name, atomic_write_json
 from repro.experiments.workloads import AnalysisDirective, axis_roles, get_analysis
 
@@ -380,6 +381,12 @@ def _slice_key(params: Dict[str, object], exclude: Sequence[str]) -> Dict[str, o
 
 
 def _numeric(value) -> Optional[float]:
+    if isinstance(value, str):
+        # A noise-spec string ("oracle-flip(0.25)") plots as its ε — this is
+        # what makes the reserved ``noise`` axis a numeric x-axis for tables
+        # and fits.  Other strings ("hidden_normal", ...) stay non-numeric.
+        spec = NoiseSpec.try_parse(value)
+        return float(spec.epsilon) if spec is not None else None
     if isinstance(value, bool) or not isinstance(value, (int, float)):
         return None
     return float(value)

@@ -465,14 +465,20 @@ def _print_sweep_summary(name: str, path: str, payload) -> int:
     if aggregate["runs"] == 0:
         print("  FAILED: the sweep produced no runs", file=sys.stderr)
         return 1
+    no_convergence = sum(
+        1 for row in payload.get("rows", []) if row.get("status") == "no_convergence"
+    )
+    if no_convergence:
+        print(f"  no_convergence: {no_convergence} run(s) (noisy solve failed gracefully)")
     if aggregate.get("errors"):
         print(f"  FAILED: {aggregate['errors']} run(s) raised (status=\"error\" rows)", file=sys.stderr)
         return 1
     if aggregate["successes"] != aggregate["runs"]:
-        print(
-            f"  FAILED: {aggregate['runs'] - aggregate['successes']} run(s) recovered a wrong subgroup",
-            file=sys.stderr,
-        )
+        wrong = aggregate["runs"] - aggregate["successes"] - no_convergence
+        detail = f"{wrong} run(s) recovered a wrong subgroup"
+        if no_convergence:
+            detail += f", {no_convergence} run(s) did not converge"
+        print(f"  FAILED: {detail}", file=sys.stderr)
         return 1
     return 0
 

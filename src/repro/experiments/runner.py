@@ -40,6 +40,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.blackbox.noise import NoiseSpec, install_noise
 from repro.blackbox.oracle import BlackBoxGroup
 from repro.core.solver import solve_hsp
 from repro.experiments.registry import build_instance
@@ -74,8 +75,10 @@ __all__ = [
 #: structural promises belong to the registry family.  Validated here so a
 #: typo fails the sweep with a clear message instead of a worker TypeError.
 #: ``confidence`` tunes the Fourier-sampling stopping rule (success
-#: probability versus rounds); ``engine_cache_dir`` persists Cayley tables.
-SUPPORTED_SOLVER_OPTIONS = frozenset({"engine_cache_dir", "confidence"})
+#: probability versus rounds); ``engine_cache_dir`` persists Cayley tables;
+#: ``noise`` is a :mod:`repro.blackbox.noise` spec string installing a
+#: corruption channel on the oracle or sampler.
+SUPPORTED_SOLVER_OPTIONS = frozenset({"engine_cache_dir", "confidence", "noise"})
 
 
 class SweepAborted(RuntimeError):
@@ -158,6 +161,7 @@ def _execute_run_impl(run: RunSpec, shard_pool=None) -> RunRecord:
         )
     cache_dir = options.pop("engine_cache_dir", None)
     confidence = options.pop("confidence", None)
+    noise = NoiseSpec.parse(options.pop("noise", "none"))
     if not run.engine:
         # The scalar baseline: no engines anywhere (a cache_dir option is
         # meaningless without an engine and is deliberately ignored).
@@ -173,6 +177,13 @@ def _execute_run_impl(run: RunSpec, shard_pool=None) -> RunRecord:
         instance = build_instance(run.family, run.instance_params(), rng)
         base = instance.group.group if isinstance(instance.group, BlackBoxGroup) else instance.group
         sampler = make_sampler(run.sampler, rng, pool=shard_pool)
+        if noise is not None:
+            # Channel randomness derives from the run seed through its own
+            # domain-separated SeedSequence stream — the main ``rng`` above
+            # is never consumed, so the ε=0 (uninstalled) rows are
+            # byte-identical to a no-noise sweep by construction.
+            install_noise(noise, instance, sampler, run.seed)
+            obs.gauge("noise.epsilon", noise.epsilon)
         start = time.perf_counter()
         solution = solve_hsp(
             instance,
@@ -180,9 +191,17 @@ def _execute_run_impl(run: RunSpec, shard_pool=None) -> RunRecord:
             sampler=sampler,
             use_engine=run.engine,
             confidence=confidence,
+            noise=noise,
         )
         wall = time.perf_counter() - start
-        success = instance.verify(solution.generators or [base.identity()])
+        if solution.status == "no_convergence":
+            # The strategy failed gracefully under the corruption channel —
+            # there is no candidate to verify.
+            success = False
+        else:
+            # Verification runs against the ground truth (concrete group
+            # arithmetic), never the corrupted oracle.
+            success = instance.verify(solution.generators or [base.identity()])
     serialized = solution.to_json_dict(include_timing=False)
     return RunRecord(
         sweep=run.sweep,
@@ -196,6 +215,7 @@ def _execute_run_impl(run: RunSpec, shard_pool=None) -> RunRecord:
         generators=serialized["generators"],
         query_report=serialized["query_report"],
         wall_time_seconds=wall,
+        status=solution.status,
     )
 
 

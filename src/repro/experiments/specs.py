@@ -27,12 +27,15 @@ __all__ = ["DEFAULT_SEED", "RESERVED_GRID_KEYS", "SamplerSpec", "SweepSpec", "Ru
 DEFAULT_SEED = 20010202
 
 #: Grid keys routed to the *solver* rather than the instance builder.  A
-#: ``"strategy"`` axis overrides :attr:`RunSpec.strategy` per grid point and a
-#: ``"confidence"`` axis becomes the ``confidence`` solver option — this is
-#: what lets one declarative sweep scan success probability versus sampling
-#: rounds, or cross two strategies over the same instances.  Both stay in
-#: :attr:`RunSpec.params` so the BENCH rows record the swept value.
-RESERVED_GRID_KEYS = ("strategy", "confidence")
+#: ``"strategy"`` axis overrides :attr:`RunSpec.strategy` per grid point, a
+#: ``"confidence"`` axis becomes the ``confidence`` solver option and a
+#: ``"noise"`` axis (noise-spec strings such as ``"oracle-flip(0.25)"`` —
+#: see :mod:`repro.blackbox.noise`) becomes the ``noise`` solver option —
+#: this is what lets one declarative sweep scan success probability versus
+#: sampling rounds or corruption rate, or cross strategies over the same
+#: instances.  All three stay in :attr:`RunSpec.params` so the BENCH rows
+#: record the swept value.
+RESERVED_GRID_KEYS = ("strategy", "confidence", "noise")
 
 
 def derive_seed(master: int, index: int) -> int:
@@ -236,6 +239,13 @@ class SweepSpec:
             if "confidence" in point:
                 merged = dict(options)
                 merged["confidence"] = int(point["confidence"])
+                options = tuple(sorted(merged.items()))
+            if "noise" in point:
+                from repro.blackbox.noise import NoiseSpec
+
+                NoiseSpec.parse(point["noise"])  # validate at expansion time
+                merged = dict(options)
+                merged["noise"] = str(point["noise"])
                 options = tuple(sorted(merged.items()))
             for repeat in range(self.repeats):
                 runs.append(

@@ -49,8 +49,8 @@ def axis_roles(grid_keys: Sequence[str]) -> Dict[str, List[str]]:
     """Split grid axes into *statistical* and *structural* roles.
 
     A statistical axis (the reserved solver keys: ``strategy``,
-    ``confidence``) varies how an instance is *solved* — it changes the
-    success statistics of runs over the same groups.  A structural axis
+    ``confidence``, ``noise``) varies how an instance is *solved* — it
+    changes the success statistics of runs over the same groups.  A structural axis
     (``n``, ``p``, ``moduli``, ...) changes the *instance itself*.  The
     analysis subsystem groups success-rate cells by the full grid point but
     fits curves along one axis per structural slice, so it needs to know
@@ -170,6 +170,50 @@ declare(
     )
 )
 
+# -- noise workloads (success vs corruption rate) ----------------------------
+
+declare(
+    SweepSpec.from_grid(
+        "success-vs-noise",
+        "dihedral_rotation",
+        {
+            "n": [16],
+            "noise": [
+                "oracle-flip(0)",
+                "oracle-flip(0.1)",
+                "oracle-flip(0.25)",
+                "oracle-flip(0.5)",
+                "oracle-flip(1)",
+            ],
+            "strategy": ["hidden_normal", "classical_adaptive"],
+        },
+        repeats=16,
+        description="success probability vs oracle-flip corruption rate on a "
+        "Theorem 8 instance; the quantum path against the honest adaptive "
+        "classical baseline under the same channel",
+    )
+)
+
+declare(
+    SweepSpec.from_grid(
+        "success-vs-noise-abelian",
+        "abelian_random",
+        {
+            "moduli": [(16, 9, 5)],
+            "noise": [
+                "sample-depolarise(0)",
+                "sample-depolarise(0.02)",
+                "sample-depolarise(0.05)",
+                "sample-depolarise(0.1)",
+                "sample-depolarise(0.25)",
+            ],
+        },
+        repeats=8,
+        description="success probability vs Fourier-sample depolarisation on "
+        "random Abelian instances (Theorem 3)",
+    )
+)
+
 # How the statistics workloads are post-processed (`summarise`/`plot`): the
 # success-vs-rounds sweeps fit the saturation model along the confidence
 # axis per group size; strategy-crossover interpolates the query-cost
@@ -180,6 +224,13 @@ declare_analysis(AnalysisDirective("success-vs-rounds-abelian", "saturation", x_
 declare_analysis(
     AnalysisDirective("strategy-crossover", "crossover", x_axis="n", series_axis="strategy")
 )
+# The noise sweeps tabulate rates + Wilson intervals over the ε axis (the
+# analysis layer parses noise-spec strings to their numeric ε); the dihedral
+# sweep additionally splits the table by strategy.
+declare_analysis(
+    AnalysisDirective("success-vs-noise", "table", x_axis="noise", series_axis="strategy")
+)
+declare_analysis(AnalysisDirective("success-vs-noise-abelian", "table", x_axis="noise"))
 
 # -- E4: hidden normal subgroups (Theorem 8) ---------------------------------
 

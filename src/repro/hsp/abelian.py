@@ -47,6 +47,12 @@ class AbelianHSPResult:
     rounds: int = 0
     subgroup_order: int = 1
     query_report: Dict[str, int] = field(default_factory=dict)
+    #: False when the stopping rule never fired — ``max_rounds`` ran out
+    #: before ``confidence`` consecutive non-enlarging samples were seen.
+    #: With an honest oracle this is a vanishing-probability event; under an
+    #: installed noise channel it is the expected inconsistent-rows outcome
+    #: and the solver reports it as ``status="no_convergence"``.
+    converged: bool = True
 
     def __iter__(self):
         return iter(self.generators)
@@ -139,6 +145,7 @@ def solve_abelian_hsp(
         rounds=rounds,
         subgroup_order=order,
         query_report=oracle.counter.snapshot(),
+        converged=stable_rounds >= confidence,
     )
 
 

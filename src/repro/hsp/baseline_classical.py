@@ -18,9 +18,14 @@ import numpy as np
 from repro.blackbox.oracle import BlackBoxGroup, HidingOracle
 from repro.blackbox.instances import HSPInstance
 from repro.groups.base import FiniteGroup
-from repro.groups.subgroup import make_membership_tester
+from repro.groups.subgroup import generate_subgroup_elements, make_membership_tester
 
-__all__ = ["ClassicalHSPResult", "classical_exhaustive_hsp", "classical_collision_hsp"]
+__all__ = [
+    "ClassicalHSPResult",
+    "classical_exhaustive_hsp",
+    "classical_collision_hsp",
+    "classical_adaptive_hsp",
+]
 
 
 @dataclass
@@ -54,6 +59,83 @@ def classical_exhaustive_hsp(instance: HSPInstance, max_elements: int = 1 << 22)
         oracle_queries=len(elements),
         group_operations=len(elements),
         method="exhaustive",
+        query_report=oracle.counter.snapshot(),
+    )
+
+
+def classical_adaptive_hsp(
+    instance: HSPInstance, max_elements: int = 1 << 22
+) -> ClassicalHSPResult:
+    """An *adaptive* classical baseline: a deterministic coset sieve.
+
+    Unlike :func:`classical_collision_hsp` — which peeks at the instance's
+    declared hidden generators to know when to stop — this baseline is an
+    honest algorithm: it never reads the ground truth and certifies its own
+    answer purely from oracle responses.  It walks the group's canonical
+    element order, skipping any element already known to lie in a covered
+    coset ``rep * <found>`` (that is the adaptivity: earlier answers prune
+    later queries).  Each collision ``f(g) = f(rep)`` proves
+    ``rep^{-1} g in H`` and enlarges the known subgroup ``<found>``, which
+    retroactively widens the covered region.
+
+    The stopping certificate is sound without any promise: ``<found>`` is
+    always a subgroup of ``H``, and distinct labels correspond to distinct
+    ``H``-cosets, so ``len(reps) <= [G:H] <= [G:<found>]``.  The moment
+    ``len(reps) * |<found>| == |G|`` both inequalities are tight and
+    ``<found> = H``.  Against a *corrupted* oracle the certificate may
+    simply never fire; the sieve then degrades to full enumeration and
+    returns its (possibly wrong) candidate for external verification — it
+    terminates for every ``epsilon``, including 1.
+    """
+    group = instance.group
+    oracle = instance.oracle
+    base_group = group.group if isinstance(group, BlackBoxGroup) else group
+    elements = base_group.element_list()
+    if len(elements) > max_elements:
+        raise ValueError("group is too large for the adaptive classical baseline")
+    order = len(elements)
+
+    found: List = []
+    subgroup = [base_group.identity()]
+    reps: Dict[object, object] = {}
+    covered = set()
+    queries = 0
+    operations = 0
+
+    for g in elements:
+        if base_group.encode(g) in covered:
+            continue
+        label = oracle(g)
+        queries += 1
+        rep = reps.get(label)
+        if rep is None:
+            reps[label] = g
+            for s in subgroup:
+                covered.add(base_group.encode(base_group.multiply(g, s)))
+                operations += 1
+            if len(reps) * len(subgroup) == order:
+                break
+            continue
+        h = base_group.multiply(base_group.inverse(rep), g)
+        operations += 2
+        if base_group.is_identity(h):
+            continue
+        found.append(h)
+        subgroup = generate_subgroup_elements(base_group, found)
+        operations += len(subgroup)
+        covered = set()
+        for r in reps.values():
+            for s in subgroup:
+                covered.add(base_group.encode(base_group.multiply(r, s)))
+                operations += 1
+        if len(reps) * len(subgroup) == order:
+            break
+
+    return ClassicalHSPResult(
+        generators=found,
+        oracle_queries=queries,
+        group_operations=operations,
+        method="adaptive",
         query_report=oracle.counter.snapshot(),
     )
 

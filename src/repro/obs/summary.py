@@ -37,8 +37,10 @@ def _phase_of(name: str) -> str:
     """The phase bucket of a span/timer name: the prefix before the first dot.
 
     ``engine.build``, ``engine.fill.mul`` and ``engine.bulk.products`` all
-    land in the ``engine`` bucket; ``sampler.batch`` in ``sampler``; a name
-    without a dot is its own bucket.
+    land in the ``engine`` bucket; ``sampler.batch`` in ``sampler``;
+    ``noise.oracle_flip`` and ``noise.depolarise`` in ``noise`` (so a noisy
+    run's corruption cost shows up as its own phase); a name without a dot
+    is its own bucket.
     """
     return name.split(".", 1)[0]
 

@@ -233,6 +233,21 @@ class FourierSampler:
         self.batch = batch
         self.shards = shards
         self.shard_pool = shard_pool
+        self.noise = None
+
+    def attach_noise(self, channel) -> None:
+        """Install a sample-corruption channel (``sample-depolarise``).
+
+        The channel owns its generator (derived from the run's SeedSequence)
+        and is applied to every batch *after* the samples are produced — in
+        the parent, after any shard combination — so corruption randomness
+        is drawn in the same serial order whatever the shard count, and the
+        sampler's main stream is never perturbed.  Query accounting is
+        untouched: a corrupted round still counts as one quantum query.
+        """
+        if self.noise is not None:
+            raise ValueError("a noise channel is already installed on this sampler")
+        self.noise = channel
 
     # -- public API --------------------------------------------------------------
     def sample(
@@ -266,11 +281,16 @@ class FourierSampler:
                 sampler_span.set(shards=shards)
             if not self.batch:
                 if backend == "statevector":
-                    return [self._sample_statevector(oracle) for _ in range(count)]
-                return [self._sample_analytic(oracle) for _ in range(count)]
-            if backend == "statevector":
-                return self._sample_statevector_batch(oracle, count, shards=shards, pool=pool)
-            return self._sample_analytic_batch(oracle, count, shards=shards, pool=pool)
+                    samples = [self._sample_statevector(oracle) for _ in range(count)]
+                else:
+                    samples = [self._sample_analytic(oracle) for _ in range(count)]
+            elif backend == "statevector":
+                samples = self._sample_statevector_batch(oracle, count, shards=shards, pool=pool)
+            else:
+                samples = self._sample_analytic_batch(oracle, count, shards=shards, pool=pool)
+        if self.noise is not None:
+            samples = self.noise.corrupt(samples, oracle.module.moduli)
+        return samples
 
     def _resolve_backend(self, oracle: AbelianHSPOracle) -> str:
         if self.backend != "auto":

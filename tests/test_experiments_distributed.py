@@ -534,6 +534,34 @@ class TestWorkAndCollect:
         _, baseline = run_sweep(spec, workers=1, out_dir=None)
         assert rows_bytes(payload) == rows_bytes(baseline)
 
+    def test_noisy_sweep_distributed_matches_run(self, tmp_path, kind):
+        # The noise-channel determinism drill: corrupted answers derive from
+        # the per-run seed, never from which worker executes the run, so a
+        # noisy 2-worker work/collect is byte-identical to the
+        # single-process `run` on both transports.
+        spec = SweepSpec.from_grid(
+            "queued-noisy",
+            "dihedral_rotation",
+            {
+                "n": [8, 12],
+                "noise": ["oracle-flip(0.3)"],
+                "strategy": ["hidden_normal", "classical_adaptive"],
+            },
+            repeats=2,
+            seed=SEED,
+        )
+        queue = make_queue(tmp_path, kind, spec)
+        enqueue_sweep(spec, queue, kind=kind)
+        executed = 0
+        while executed < len(spec.expand()):
+            for worker in ("w1", "w2"):
+                executed += work_queue(queue, worker_id=worker, max_tasks=1)["executed"]
+        _, payload = collect_queue(queue, str(tmp_path))
+        _, baseline = run_sweep(spec, workers=1, out_dir=None)
+        assert rows_bytes(payload) == rows_bytes(baseline)
+        statuses = {row["status"] for row in payload["rows"]}
+        assert "error" not in statuses
+
     def test_error_rows_flow_through_the_queue(self, tmp_path, kind):
         spec = faulty_spec()
         queue = make_queue(tmp_path, kind, spec)

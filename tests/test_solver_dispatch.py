@@ -140,6 +140,14 @@ class TestSolveDispatch:
         with pytest.raises(GroupError, match="unknown strategy"):
             solve_hsp(instance, strategy="quantum_annealing", rng=rng)
 
+    def test_classical_adaptive_strategy_solves(self, rng):
+        group = dihedral_semidirect(6)
+        instance = HSPInstance.from_subgroup(group, [group.embed_normal((1,))])
+        solution = solve_hsp(instance, strategy="classical_adaptive", rng=rng)
+        assert solution.strategy == "classical_adaptive"
+        assert solution.details.method == "adaptive"
+        assert instance.verify(solution.generators or [group.identity()])
+
     def test_solution_reports_strategy_timing_and_queries(self, rng):
         instance, group = extraspecial_instance(
             promises={"commutator_elements": extraspecial_group(3).commutator_subgroup_elements()}
@@ -149,3 +157,61 @@ class TestSolveDispatch:
         assert solution.elapsed_seconds >= 0.0
         assert solution.query_report["quantum_queries"] > 0
         assert instance.verify(solution.generators or [group.identity()])
+
+
+class TestConfidenceOption:
+    """``confidence`` must reach the strategies that consume it and raise —
+    never be silently ignored — for every strategy that does not."""
+
+    def test_abelian_accepts_confidence(self, rng):
+        instance = abelian_instance()
+        solution = solve_hsp(instance, strategy="abelian", rng=rng, confidence=4)
+        assert solution.status == "ok"
+        assert instance.verify(solution.generators)
+
+    def test_hidden_normal_accepts_confidence(self, rng):
+        group = dihedral_semidirect(6)
+        instance = HSPInstance.from_subgroup(
+            group, [group.embed_normal((1,))], promises={"hidden_is_normal": True}
+        )
+        solution = solve_hsp(instance, strategy="hidden_normal", rng=rng, confidence=8)
+        assert solution.status == "ok"
+        assert instance.verify(solution.generators or [group.identity()])
+
+    def test_elementary_abelian_two_rejects_confidence(self, rng):
+        group, normal_gens = wreath_instance(2)
+        instance = HSPInstance.from_subgroup(
+            group,
+            [group.identity()],
+            promises={"normal_generators": normal_gens, "cyclic_quotient": True},
+        )
+        with pytest.raises(ValueError, match="confidence"):
+            solve_hsp(instance, strategy="elementary_abelian_two", rng=rng, confidence=4)
+
+    def test_small_commutator_rejects_confidence(self, rng):
+        instance, _ = extraspecial_instance(promises={"commutator_bound": 3})
+        with pytest.raises(ValueError, match="confidence"):
+            solve_hsp(instance, strategy="small_commutator", rng=rng, confidence=4)
+
+    def test_classical_rejects_confidence(self, rng):
+        instance = abelian_instance()
+        with pytest.raises(ValueError, match="confidence"):
+            solve_hsp(instance, strategy="classical", rng=rng, confidence=4)
+
+    def test_classical_adaptive_rejects_confidence(self, rng):
+        instance = abelian_instance()
+        with pytest.raises(ValueError, match="confidence"):
+            solve_hsp(instance, strategy="classical_adaptive", rng=rng, confidence=4)
+
+    def test_auto_resolution_rejects_confidence_on_non_consuming_branch(self, rng):
+        # "auto" resolves this instance to small_commutator, which does not
+        # consume confidence — the error must name the *resolved* strategy.
+        instance, _ = extraspecial_instance()
+        with pytest.raises(ValueError, match="small_commutator"):
+            solve_hsp(instance, rng=rng, confidence=4)
+
+    def test_auto_resolution_accepts_confidence_on_abelian_branch(self, rng):
+        instance = abelian_instance()
+        solution = solve_hsp(instance, rng=rng, confidence=4)
+        assert solution.strategy == "abelian"
+        assert instance.verify(solution.generators)
