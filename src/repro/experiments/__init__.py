@@ -25,20 +25,21 @@ persistent experiment layer:
     per-run JSON rows and aggregate statistics, persisted atomically as
     ``BENCH_<name>.json``, plus the ``BENCH_<name>.partial.jsonl``
     checkpoint journal behind ``--resume``, multi-shard journal merging
-    (dedup by ``(index, seed)``, ok preferred over error) and the
+    (dedup by ``(index, seed)``, ranked ``ok > no_convergence > error``) and the
     BENCH-vs-journal agreement check;
 ``distributed``
     the queue-backed distributed runner: ``enqueue`` materialises pending
     runs as claimable tasks on a pluggable queue *transport* — a shared
-    ``QUEUE_<name>/`` directory (atomic-rename leases, mtime heartbeats)
-    or a single-file SQLite WAL database (``BEGIN IMMEDIATE``
-    transactional claims) — any number of ``work`` processes claim them
-    with heartbeat-based stale reclamation and corrupt-task quarantine,
-    and ``collect`` merges the per-worker shards into a BENCH
-    byte-identical to a single-process run;
+    ``QUEUE_<name>/`` directory (atomic-rename leases, mtime heartbeats),
+    a single-file SQLite WAL database (``BEGIN IMMEDIATE`` transactional
+    claims), or a ``serve``d HTTP coordinator URL (workers need no shared
+    mount) — any number of ``work`` processes claim them with
+    heartbeat-based stale reclamation and corrupt-task quarantine, and
+    ``collect`` merges the per-worker shards into a BENCH byte-identical
+    to a single-process run;
 ``transports``
     the :class:`Transport` protocol (enqueue/claim/heartbeat/release/
-    reclaim/append/enumerate/status) and its directory and SQLite
+    reclaim/append/enumerate/status) and its directory, SQLite and HTTP
     implementations;
 ``workloads``
     the declared sweeps (including the migrated ``benchmarks/bench_*``
@@ -94,7 +95,12 @@ from repro.experiments.results import (
     resolve_bench,
     write_bench,
 )
-from repro.experiments.transports import DirectoryTransport, SqliteTransport, Transport
+from repro.experiments.transports import (
+    DirectoryTransport,
+    HttpTransport,
+    SqliteTransport,
+    Transport,
+)
 from repro.experiments.runner import (
     SweepAborted,
     execute_batch,
@@ -117,6 +123,7 @@ __all__ = [
     "DEFAULT_SEED",
     "AnalysisDirective",
     "DirectoryTransport",
+    "HttpTransport",
     "LedgerDivergence",
     "QueueBusy",
     "QueueCorrupt",

@@ -1,6 +1,6 @@
 """The ``python -m repro.experiments`` command line.
 
-Eleven subcommands make sweeps reproducible (and analysable) from a shell:
+Twelve subcommands make sweeps reproducible (and analysable) from a shell:
 
 ``list``
     the declared workloads and registered instance families;
@@ -12,15 +12,21 @@ Eleven subcommands make sweeps reproducible (and analysable) from a shell:
 ``enqueue NAME``
     materialise a sweep's pending runs as claimable tasks on a queue
     transport — ``--transport dir`` (a ``QUEUE_<name>/`` directory of task
-    files, the default) or ``--transport sqlite`` (a single
+    files, the default), ``--transport sqlite`` (a single
     ``QUEUE_<name>.sqlite`` WAL database; ``--queue-db`` names it
-    explicitly);
+    explicitly) or ``--transport http`` (a running coordinator named by
+    ``--queue-url http://host:port``);
+``serve QUEUE.sqlite``
+    the HTTP queue coordinator: serve a local SQLite queue database to
+    remote workers, so a ``work``/``collect``/``status`` process needs
+    only a URL, not a shared mount.  Plain HTTP with **no
+    authentication** — bind to localhost or a trusted network only;
 ``work QUEUE``
     claim and execute queue tasks until the queue drains — any number of
-    ``work`` processes sharing the queue (a directory or a database file,
-    auto-detected) cooperate via leased claims with heartbeat-based stale
-    reclamation; corrupt tasks are quarantined and reported, never
-    crash-looped;
+    ``work`` processes sharing the queue (a directory, a database file, or
+    a coordinator ``http://`` URL, auto-detected) cooperate via leased
+    claims with heartbeat-based stale reclamation; corrupt tasks are
+    quarantined and reported, never crash-looped;
 ``collect QUEUE``
     merge the per-worker record shards of a drained queue into a
     ``BENCH_<name>.json`` whose deterministic rows are byte-identical to a
@@ -59,6 +65,10 @@ Examples::
     python -m repro.experiments enqueue queue-smoke --transport sqlite --out .benchmarks
     python -m repro.experiments work .benchmarks/QUEUE_queue-smoke.sqlite
     python -m repro.experiments status .benchmarks/QUEUE_queue-smoke
+    python -m repro.experiments serve .benchmarks/QUEUE_queue-smoke.sqlite --port 8765 &
+    python -m repro.experiments enqueue queue-smoke --queue-url http://127.0.0.1:8765
+    python -m repro.experiments work http://127.0.0.1:8765
+    python -m repro.experiments collect http://127.0.0.1:8765 --out .benchmarks
     python -m repro.experiments run smoke --trace .benchmarks/trace.jsonl --out .benchmarks
     python -m repro.experiments trace summarise .benchmarks/trace.jsonl
     python -m repro.experiments report smoke --out .benchmarks
@@ -72,6 +82,7 @@ from __future__ import annotations
 
 import argparse
 import os
+import signal
 import sys
 from typing import List, Optional
 
@@ -162,8 +173,9 @@ def _build_parser() -> argparse.ArgumentParser:
         "--transport",
         choices=list(distributed.TRANSPORT_KINDS),
         default="dir",
-        help="queue backend: a shared directory of task files (dir, the default) "
-        "or a single-file SQLite WAL database (sqlite)",
+        help="queue backend: a shared directory of task files (dir, the default), "
+        "a single-file SQLite WAL database (sqlite), or a running coordinator "
+        "(http; requires --queue-url)",
     )
     enqueue_parser.add_argument(
         "--queue", default=None, metavar="DIR", help="explicit queue directory (overrides --out; implies --transport dir)"
@@ -174,9 +186,40 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="explicit queue database path (overrides --out; implies --transport sqlite)",
     )
+    enqueue_parser.add_argument(
+        "--queue-url",
+        default=None,
+        metavar="URL",
+        help="a running coordinator's http://host:port (see `serve`; overrides "
+        "--out; implies --transport http)",
+    )
     enqueue_parser.add_argument("--seed", type=int, default=None, help="override the sweep master seed")
     enqueue_parser.add_argument(
         "--repeats", type=int, default=None, help="override the repeats per grid point"
+    )
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="HTTP queue coordinator: serve a local SQLite queue database to "
+        "remote workers (no auth — trusted networks only)",
+    )
+    serve_parser.add_argument(
+        "queue",
+        help="the QUEUE_<name>.sqlite database to serve (created by a remote "
+        "`enqueue --queue-url` if it does not exist yet)",
+    )
+    serve_parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="interface to bind (default 127.0.0.1; the coordinator speaks plain "
+        "HTTP with no authentication — expose it to trusted networks only)",
+    )
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help=f"port to bind (default {distributed.DEFAULT_HTTP_PORT}; 0 picks an "
+        f"ephemeral port, printed on startup)",
     )
 
     work_parser = sub.add_parser(
@@ -184,15 +227,15 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     work_parser.add_argument(
         "queue",
-        help="the shared queue: a QUEUE_<name> directory or a QUEUE_<name>.sqlite "
-        "database (auto-detected)",
+        help="the shared queue: a QUEUE_<name> directory, a QUEUE_<name>.sqlite "
+        "database, or a coordinator http://host:port URL (auto-detected)",
     )
     work_parser.add_argument(
         "--worker-id", default=None, help="stable worker id (default: host-pid-random)"
     )
     work_parser.add_argument(
         "--stale-after",
-        type=_positive_seconds,
+        type=_stale_after_seconds,
         default=300.0,
         help="seconds without a heartbeat before a lease is reclaimed (default 300)",
     )
@@ -218,7 +261,9 @@ def _build_parser() -> argparse.ArgumentParser:
         "collect", help="merge a drained queue's record shards into BENCH_<name>.json"
     )
     collect_parser.add_argument(
-        "queue", help="the queue: a QUEUE_<name> directory or a QUEUE_<name>.sqlite database"
+        "queue",
+        help="the queue: a QUEUE_<name> directory, a QUEUE_<name>.sqlite database, "
+        "or a coordinator http://host:port URL",
     )
     collect_parser.add_argument("--out", default=".", help="output directory for the BENCH file")
     collect_parser.add_argument(
@@ -233,11 +278,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="pending/lease/shard counts, per-worker progress and heartbeat ages of a queue",
     )
     status_parser.add_argument(
-        "queue", help="the queue: a QUEUE_<name> directory or a QUEUE_<name>.sqlite database"
+        "queue",
+        help="the queue: a QUEUE_<name> directory, a QUEUE_<name>.sqlite database, "
+        "or a coordinator http://host:port URL",
     )
     status_parser.add_argument(
         "--stale-after",
-        type=_positive_seconds,
+        type=_stale_after_seconds,
         default=300.0,
         help="heartbeat age after which a lease is flagged STALE (default 300; "
         "match the workers' --stale-after)",
@@ -333,6 +380,23 @@ def _positive_seconds(text: str) -> float:
         raise argparse.ArgumentTypeError(f"expected a duration in seconds, got {text!r}")
     if value <= 0:
         raise argparse.ArgumentTypeError(f"duration must be positive, got {value}")
+    return value
+
+
+def _stale_after_seconds(text: str) -> float:
+    """argparse type for ``--stale-after``: the protocol check the worker
+    loop enforces (:func:`~repro.experiments.distributed.validate_lease_timings`),
+    applied at parse time for ``work`` and ``status`` alike — ``status
+    --stale-after 0`` would flag every live lease STALE, the observational
+    twin of the reclaim-thrash the worker check prevents."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a duration in seconds, got {text!r}")
+    try:
+        distributed.validate_lease_timings(value, poll=1.0, heartbeat=None)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error))
     return value
 
 
@@ -489,10 +553,20 @@ def _command_enqueue(args) -> int:
     except (KeyError, ValueError) as error:
         print(str(error), file=sys.stderr)
         return 1
-    if args.queue_db:
+    if args.queue_url:
+        queue, kind = args.queue_url, "http"
+    elif args.queue_db:
         queue, kind = args.queue_db, "sqlite"
     elif args.queue:
         queue, kind = args.queue, "dir"
+    elif args.transport == "http":
+        print(
+            "--transport http needs --queue-url URL (a running coordinator's "
+            "address; start one with `python -m repro.experiments serve "
+            "QUEUE_<name>.sqlite`)",
+            file=sys.stderr,
+        )
+        return 1
     elif args.transport == "sqlite":
         queue, kind = distributed.queue_db_path(args.out, spec.name), "sqlite"
     else:
@@ -558,19 +632,65 @@ def _command_work(args) -> int:
     return 0
 
 
+def _command_serve(args) -> int:
+    """Run the HTTP queue coordinator until interrupted.
+
+    Wraps a local SQLite queue database in a threading HTTP server so
+    remote ``work``/``collect``/``status`` processes need only the printed
+    URL.  Plain HTTP, no authentication — trusted networks only.
+    """
+    port = distributed.DEFAULT_HTTP_PORT if args.port is None else args.port
+    try:
+        server = distributed.make_server(args.queue, args.host, port)
+    except (distributed.QueueCorrupt, ValueError, OSError) as error:
+        print(str(error), file=sys.stderr)
+        return 1
+    host, bound_port = server.server_address[:2]
+    print(
+        f"serving queue {args.queue} at http://{host}:{bound_port} "
+        f"(no auth — trusted networks only; Ctrl-C to stop)",
+        flush=True,
+    )
+    # SIGTERM (systemd stop, docker stop, CI cleanup `kill`) gets the same
+    # clean shutdown as Ctrl-C: close the listener, sever keep-alive
+    # sessions, and close the SQLite connection so its WAL sidecars merge.
+    previous = signal.signal(signal.SIGTERM, _raise_keyboard_interrupt)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+        server.server_close()
+    return 0
+
+
+def _raise_keyboard_interrupt(signum, frame):
+    raise KeyboardInterrupt
+
+
 def _command_status(args) -> int:
     """A live, read-only look at a queue: counts, progress, heartbeat ages.
 
     Purely observational — it never touches lease liveness, so running it
-    while workers drain the queue is always safe.
+    while workers drain the queue is always safe.  The transport is
+    resolved once and closed via try/finally, so the status probe itself
+    never leaves a connection (or WAL sidecar files) behind.
     """
     try:
-        counts = distributed.queue_status(args.queue)
-        progress = distributed.queue_progress(args.queue)
-        leases = distributed.lease_report(args.queue)
+        transport = distributed.resolve_transport(args.queue)
     except (distributed.QueueCorrupt, ValueError) as error:
         print(str(error), file=sys.stderr)
         return 1
+    try:
+        counts = distributed.queue_status(transport)
+        progress = distributed.queue_progress(transport)
+        leases = distributed.lease_report(transport)
+    except (distributed.QueueCorrupt, ValueError) as error:
+        print(str(error), file=sys.stderr)
+        return 1
+    finally:
+        transport.close()
     print(f"queue {args.queue} (sweep {progress['name']!r})")
     print(
         f"  progress: {progress['covered']}/{progress['expected']} run(s) journaled, "
@@ -771,6 +891,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_run(args)
     if args.command == "enqueue":
         return _command_enqueue(args)
+    if args.command == "serve":
+        return _command_serve(args)
     if args.command == "work":
         return _command_work(args)
     if args.command == "collect":

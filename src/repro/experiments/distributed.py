@@ -10,7 +10,7 @@ tasks, leases and shard records are JSON round-trippable, so the lifecycle
 here is written against the eight-operation
 :class:`~repro.experiments.transports.base.Transport` protocol — enqueue,
 claim, heartbeat, release, reclaim, shard append, shard enumerate, status —
-and two backends ship:
+and three backends ship:
 
 * the **directory** transport (``QUEUE_<name>/`` of task files, atomic
   ``os.rename`` leases, mtime heartbeats, ``.jsonl`` shards) for any shared
@@ -18,7 +18,11 @@ and two backends ship:
 * the **sqlite** transport (``QUEUE_<name>.sqlite``, WAL mode, ``BEGIN
   IMMEDIATE`` claim transactions over a pending/running/done status table,
   heartbeats as row-timestamp updates, shards as a records table keyed by
-  worker id) for single-file queues on one host.
+  worker id) for single-file queues on one host;
+* the **http** transport (``http://coordinator:8765``), the client half of
+  ``python -m repro.experiments serve QUEUE.sqlite`` — the same operations
+  as JSON POSTs against a coordinator wrapping a SQLite queue, so workers
+  need only a URL, not a shared mount (no auth; trusted networks only).
 
 The lease protocol, for either backend:
 
@@ -36,7 +40,7 @@ The lease protocol, for either backend:
   already journaled the record (died between append and release), the
   re-execution produces a duplicate — harmless, because records are
   deterministic and ``collect`` deduplicates by ``(index, seed)``,
-  preferring ok over error.
+  ranked ``ok > no_convergence > error``.
 * **complete** — the worker appends the record to *its own* shard (no two
   workers ever write the same shard) and releases the lease.
 
@@ -59,7 +63,8 @@ import socket
 import threading
 import uuid
 import time
-from typing import Dict, List, Optional, Tuple, Union
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from repro import obs
 from repro.experiments.results import (
@@ -75,21 +80,26 @@ from repro.experiments.transports import (
     TRANSPORT_KINDS,
     Claim,
     CorruptTask,
+    HttpTransport,
     QueueBusy,
     QueueCorrupt,
     QueueIncomplete,
     Transport,
+    make_server,
     queue_db_path,
     queue_dir,
     resolve_transport,
     shard_path,
 )
+from repro.experiments.transports.http import DEFAULT_PORT as DEFAULT_HTTP_PORT
 
 __all__ = [
+    "DEFAULT_HTTP_PORT",
     "QUEUE_VERSION",
     "TRANSPORT_KINDS",
     "Claim",
     "CorruptTask",
+    "HttpTransport",
     "QueueBusy",
     "QueueCorrupt",
     "QueueIncomplete",
@@ -100,6 +110,7 @@ __all__ = [
     "enqueue_sweep",
     "lease_report",
     "load_queue_spec",
+    "make_server",
     "queue_db_path",
     "queue_dir",
     "queue_progress",
@@ -159,24 +170,46 @@ def validate_lease_timings(
         )
 
 
+@contextmanager
+def _opened(queue: QueueLike, kind: str = "auto") -> Iterator[Transport]:
+    """Resolve ``queue`` to a transport, closing it afterwards if owned.
+
+    Every lifecycle helper routes through this so no path leaks backend
+    resources — a SQLite connection left open keeps the WAL
+    ``-wal``/``-shm`` sidecar files alive, an HTTP session keeps a socket.
+    A caller-supplied :class:`Transport` instance is *not* closed: its
+    owner manages that lifecycle.
+    """
+    transport = resolve_transport(queue, kind)
+    try:
+        yield transport
+    finally:
+        if not isinstance(queue, Transport):
+            transport.close()
+
+
 def load_queue_spec(queue: QueueLike) -> SweepSpec:
     """The pinned sweep spec of a queue (validated header)."""
-    return resolve_transport(queue).load_spec()
+    with _opened(queue) as transport:
+        return transport.load_spec()
 
 
 def queue_status(queue: QueueLike) -> Dict[str, int]:
     """Pending task, outstanding lease, shard and quarantined-corrupt counts."""
-    return resolve_transport(queue).status()
+    with _opened(queue) as transport:
+        return transport.status()
 
 
 def corrupt_report(queue: QueueLike) -> List[CorruptTask]:
     """The quarantined-corrupt tasks of a queue (empty for a healthy queue)."""
-    return resolve_transport(queue).corrupt_tasks()
+    with _opened(queue) as transport:
+        return transport.corrupt_tasks()
 
 
 def lease_report(queue: QueueLike) -> List[Dict[str, object]]:
     """Live leases with holder and heartbeat age (seconds since last beat)."""
-    return resolve_transport(queue).lease_details()
+    with _opened(queue) as transport:
+        return transport.lease_details()
 
 
 def _shard_worker_name(shard_id: str) -> str:
@@ -194,9 +227,9 @@ def queue_progress(queue: QueueLike) -> Dict[str, object]:
     "records", "errors"}, ...]}`` where ``covered`` counts distinct
     ``(index, seed)`` keys of the pinned expansion with at least one record.
     """
-    transport = resolve_transport(queue)
-    spec = transport.load_spec()
-    streams = transport.record_streams(spec)
+    with _opened(queue) as transport:
+        spec = transport.load_spec()
+        streams = transport.record_streams(spec)
     expected = {(run.index, run.seed) for run in spec.expand()}
     merged = merge_record_streams(records for _, records in streams)
     workers = [
@@ -223,7 +256,8 @@ def claim_next(queue: QueueLike, worker_id: str):
     transport), a :class:`CorruptTask` when the claimed payload was
     quarantined as unparseable, or ``None`` when nothing is claimable.
     """
-    return resolve_transport(queue).claim_next(worker_id)
+    with _opened(queue) as transport:
+        return transport.claim_next(worker_id)
 
 
 def reclaim_stale(queue: QueueLike, stale_after: float) -> int:
@@ -235,7 +269,8 @@ def reclaim_stale(queue: QueueLike, stale_after: float) -> int:
     ``BEGIN IMMEDIATE`` transaction), so each stale lease is reclaimed
     exactly once.  Returns the number reclaimed.
     """
-    return resolve_transport(queue).reclaim_stale(stale_after)
+    with _opened(queue) as transport:
+        return transport.reclaim_stale(stale_after)
 
 
 def enqueue_sweep(spec: SweepSpec, queue: QueueLike, kind: str = "auto") -> Dict[str, int]:
@@ -249,35 +284,35 @@ def enqueue_sweep(spec: SweepSpec, queue: QueueLike, kind: str = "auto") -> Dict
     errors.  A queue with tasks or leases still outstanding is refused —
     two enqueues racing each other would double-issue work.
     """
-    transport = resolve_transport(queue, kind)
-    done: Dict[Tuple[int, int], RunRecord] = {}
-    if transport.exists():
-        existing = transport.load_spec()
-        if existing != spec:
-            raise ValueError(
-                f"queue {transport.location!r} already pins a different sweep "
-                f"configuration (name/seed/grid/sampler mismatch); use a fresh queue"
-            )
-        status = transport.status()
-        if status["tasks"] or status["leases"]:
-            raise ValueError(
-                f"queue {transport.location!r} still has {status['tasks']} task(s) and "
-                f"{status['leases']} lease(s) outstanding; drain it (or delete the "
-                f"queue) before enqueueing again"
-            )
-        transport.clear_corrupt()
-        done = {
-            key: record
-            for key, record in merge_record_streams(
-                records for _, records in transport.record_streams(spec)
-            ).items()
-            if record.status != "error"
-        }
-    else:
-        transport.initialise(spec)
-    pending = [run for run in spec.expand() if (run.index, run.seed) not in done]
-    transport.enqueue(pending)
-    return {"enqueued": len(pending), "already_done": len(done)}
+    with _opened(queue, kind) as transport:
+        done: Dict[Tuple[int, int], RunRecord] = {}
+        if transport.exists():
+            existing = transport.load_spec()
+            if existing != spec:
+                raise ValueError(
+                    f"queue {transport.location!r} already pins a different sweep "
+                    f"configuration (name/seed/grid/sampler mismatch); use a fresh queue"
+                )
+            status = transport.status()
+            if status["tasks"] or status["leases"]:
+                raise ValueError(
+                    f"queue {transport.location!r} still has {status['tasks']} task(s) and "
+                    f"{status['leases']} lease(s) outstanding; drain it (or delete the "
+                    f"queue) before enqueueing again"
+                )
+            transport.clear_corrupt()
+            done = {
+                key: record
+                for key, record in merge_record_streams(
+                    records for _, records in transport.record_streams(spec)
+                ).items()
+                if record.status != "error"
+            }
+        else:
+            transport.initialise(spec)
+        pending = [run for run in spec.expand() if (run.index, run.seed) not in done]
+        transport.enqueue(pending)
+        return {"enqueued": len(pending), "already_done": len(done)}
 
 
 class _Heartbeat:
@@ -340,7 +375,22 @@ def work_queue(
     the collected BENCH payload in any byte.
     """
     validate_lease_timings(stale_after, poll, heartbeat)
-    transport = resolve_transport(queue)
+    with _opened(queue) as transport:
+        return _work_loop(
+            transport, stale_after, poll, heartbeat, max_tasks, trace, profile_dir, worker_id
+        )
+
+
+def _work_loop(
+    transport: Transport,
+    stale_after: float,
+    poll: float,
+    heartbeat: Optional[float],
+    max_tasks: Optional[int],
+    trace: Optional[str],
+    profile_dir: Optional[str],
+    worker_id: Optional[str],
+) -> Dict[str, int]:
     spec = transport.load_spec()
     worker = _sanitize_worker_id(worker_id) if worker_id else default_worker_id()
     transport.prepare_shard(spec, worker)
@@ -400,7 +450,7 @@ def collect_queue(
     """Merge the shards of a drained queue into ``BENCH_<name>.json``.
 
     Every shard is validated against the queue's pinned spec and merged by
-    ``(index, seed)`` (ok preferred over error, see
+    ``(index, seed)`` (ranked ``ok > no_convergence > error``, see
     :func:`~repro.experiments.results.merge_record_streams`).  The merge
     must cover the full expansion — an unclaimed task, an outstanding lease
     or a shard torn short of a record makes the queue *incomplete* and the
@@ -412,33 +462,33 @@ def collect_queue(
     ``force`` — the covered rows are deterministic either way.  The
     resulting rows are byte-identical to a single-process ``run``.
     """
-    transport = resolve_transport(queue)
-    spec = transport.load_spec()
-    quarantined = transport.corrupt_tasks()
-    if quarantined:
-        shown = "; ".join(f"{item.task_id}: {item.reason}" for item in quarantined[:3])
-        suffix = "; ..." if len(quarantined) > 3 else ""
-        raise QueueCorrupt(
-            f"queue {transport.location!r} quarantined {len(quarantined)} corrupt "
-            f"task(s) ({shown}{suffix}); re-enqueue the sweep to reissue them"
+    with _opened(queue) as transport:
+        spec = transport.load_spec()
+        quarantined = transport.corrupt_tasks()
+        if quarantined:
+            shown = "; ".join(f"{item.task_id}: {item.reason}" for item in quarantined[:3])
+            suffix = "; ..." if len(quarantined) > 3 else ""
+            raise QueueCorrupt(
+                f"queue {transport.location!r} quarantined {len(quarantined)} corrupt "
+                f"task(s) ({shown}{suffix}); re-enqueue the sweep to reissue them"
+            )
+        merged = merge_record_streams(
+            records for _, records in transport.record_streams(spec)
         )
-    merged = merge_record_streams(
-        records for _, records in transport.record_streams(spec)
-    )
-    expected = {(run.index, run.seed) for run in spec.expand()}
-    unexpected = sorted(set(merged) - expected)
-    if unexpected:
-        raise QueueCorrupt(
-            f"queue {transport.location!r} shards hold {len(unexpected)} record(s) "
-            f"outside the pinned sweep expansion (e.g. (index, seed) "
-            f"{unexpected[0]}); the shards were edited or mixed from another queue"
-        )
-    missing = sorted(expected - set(merged))
-    status = transport.status()
-    if missing:
-        raise QueueIncomplete(transport.location, missing, status["tasks"], status["leases"])
-    if status["leases"] and not force:
-        raise QueueBusy(transport.location, status["leases"])
+        expected = {(run.index, run.seed) for run in spec.expand()}
+        unexpected = sorted(set(merged) - expected)
+        if unexpected:
+            raise QueueCorrupt(
+                f"queue {transport.location!r} shards hold {len(unexpected)} record(s) "
+                f"outside the pinned sweep expansion (e.g. (index, seed) "
+                f"{unexpected[0]}); the shards were edited or mixed from another queue"
+            )
+        missing = sorted(expected - set(merged))
+        status = transport.status()
+        if missing:
+            raise QueueIncomplete(transport.location, missing, status["tasks"], status["leases"])
+        if status["leases"] and not force:
+            raise QueueBusy(transport.location, status["leases"])
     records = list(merged.values())
     # workers=0 marks externally-executed sweeps (as journal payloads do);
     # the deterministic rows never depend on the worker topology.

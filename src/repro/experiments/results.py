@@ -476,17 +476,27 @@ def merge_record_streams(
     last-wins in append order.  Duplicate keys across shards arise
     legitimately — a stale lease reclaimed after its worker already
     journaled the record means two workers executed the same run — and are
-    resolved by preferring a ``status="ok"`` record over an ``"error"`` one;
-    two ok records of the same run are byte-identical by the determinism
-    guarantee, so which one survives is immaterial.
+    resolved by status rank, ``ok > no_convergence > error``: a completed
+    measurement beats a noise-swamped one, which beats an infrastructure
+    failure.  Two records of the same rank for one run are byte-identical
+    by the determinism guarantee, so which one survives is immaterial.
     """
     merged: Dict[Tuple[int, int], RunRecord] = {}
     for stream in streams:
         for key, record in stream.items():
             existing = merged.get(key)
-            if existing is None or (existing.status == "error" and record.status != "error"):
+            if existing is None or _status_rank(record.status) > _status_rank(existing.status):
                 merged[key] = record
     return merged
+
+
+#: Cross-shard duplicate resolution order for :func:`merge_record_streams`;
+#: unknown statuses rank lowest, alongside ``error``.
+_STATUS_RANK = {"error": 0, "no_convergence": 1, "ok": 2}
+
+
+def _status_rank(status: str) -> int:
+    return _STATUS_RANK.get(status, 0)
 
 
 def merge_journal_records(

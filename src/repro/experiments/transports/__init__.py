@@ -3,11 +3,12 @@
 The :class:`~repro.experiments.transports.base.Transport` protocol is the
 seam between the ``enqueue``/``work``/``collect`` lifecycle (which lives
 in :mod:`repro.experiments.distributed`) and the coordination backend.
-Two backends ship — the shared-directory queue and a single-file SQLite
-database — and :func:`resolve_transport` picks one from a queue location:
-an explicit ``kind``, an existing directory vs an existing file with the
-SQLite magic header, or (for paths that do not exist yet) the file
-extension.
+Three backends ship — the shared-directory queue, a single-file SQLite
+database, and an HTTP client speaking to a coordinator serving one —
+and :func:`resolve_transport` picks one from a queue location: an
+explicit ``kind``, an ``http://``/``https://`` URL, an existing
+directory vs an existing file with the SQLite magic header, or (for
+paths that do not exist yet) the file extension.
 """
 
 from __future__ import annotations
@@ -25,27 +26,37 @@ from repro.experiments.transports.base import (
     Transport,
 )
 from repro.experiments.transports.directory import DirectoryTransport, queue_dir, shard_path
+from repro.experiments.transports.http import (
+    HTTP_PROTOCOL_VERSION,
+    HttpTransport,
+    make_server,
+    serve,
+)
 from repro.experiments.transports.sqlite import SQLITE_MAGIC, SqliteTransport, queue_db_path
 
 __all__ = [
+    "HTTP_PROTOCOL_VERSION",
     "QUEUE_VERSION",
     "Claim",
     "CorruptTask",
     "DirectoryTransport",
+    "HttpTransport",
     "QueueBusy",
     "QueueCorrupt",
     "QueueIncomplete",
     "SqliteTransport",
     "TRANSPORT_KINDS",
     "Transport",
+    "make_server",
     "queue_db_path",
     "queue_dir",
     "resolve_transport",
+    "serve",
     "shard_path",
 ]
 
 #: The selectable backend names (the CLI ``--transport`` choices).
-TRANSPORT_KINDS = ("dir", "sqlite")
+TRANSPORT_KINDS = ("dir", "sqlite", "http")
 
 #: File extensions treated as SQLite queue databases when the path does
 #: not exist yet (an existing file is sniffed by its magic header instead).
@@ -55,11 +66,13 @@ _SQLITE_SUFFIXES = (".sqlite", ".sqlite3", ".db")
 def resolve_transport(queue: Union[str, Transport], kind: str = "auto") -> Transport:
     """Resolve a queue location (or a ready transport) to a transport.
 
-    ``kind`` may force a backend (``"dir"`` / ``"sqlite"``); ``"auto"``
-    detects one: an existing directory is a directory queue, an existing
-    file must carry the SQLite magic header, and a path that does not
-    exist yet is routed by its extension (``.sqlite``/``.sqlite3``/``.db``
-    mean SQLite, anything else a directory).
+    ``kind`` may force a backend (``"dir"`` / ``"sqlite"`` / ``"http"``);
+    ``"auto"`` detects one: an ``http://``/``https://`` location is a
+    coordinator URL, an existing directory is a directory queue, an
+    existing file must carry the SQLite magic header, and a path that
+    does not exist yet is routed by its extension
+    (``.sqlite``/``.sqlite3``/``.db`` mean SQLite, anything else a
+    directory).
     """
     if isinstance(queue, Transport):
         return queue
@@ -67,8 +80,12 @@ def resolve_transport(queue: Union[str, Transport], kind: str = "auto") -> Trans
         return DirectoryTransport(queue)
     if kind == "sqlite":
         return SqliteTransport(queue)
+    if kind == "http":
+        return HttpTransport(queue)
     if kind != "auto":
         raise ValueError(f"unknown transport kind {kind!r}; expected one of {TRANSPORT_KINDS}")
+    if queue.startswith(("http://", "https://")):
+        return HttpTransport(queue)
     if os.path.isdir(queue):
         return DirectoryTransport(queue)
     if os.path.isfile(queue):

@@ -10,7 +10,7 @@ JSON round-trippable, so every backend speaks the same serialized forms
 and the byte-identity contract (``collect`` == single-process ``run``)
 holds per transport.
 
-Two backends ship:
+Three backends ship:
 
 * :class:`~repro.experiments.transports.directory.DirectoryTransport` —
   the original shared-directory queue (atomic ``os.rename`` leases,
@@ -21,6 +21,11 @@ Two backends ship:
   transactional claims over a pending/running/done status table; one
   file instead of a directory tree, safe multi-process access on one
   host (WAL does not support network filesystems).
+* :class:`~repro.experiments.transports.http.HttpTransport` — the
+  client half of the HTTP coordinator (``python -m repro.experiments
+  serve QUEUE.sqlite``): the same operations as JSON POSTs against a
+  ``ThreadingHTTPServer`` wrapping a ``SqliteTransport``, so workers
+  need only a URL, not a shared mount.
 
 The corrupt-task contract is part of the protocol: a task whose payload
 cannot be parsed back into a :class:`RunSpec` is *quarantined* by
@@ -135,7 +140,7 @@ class Transport(abc.ABC):
     the directory shards.
     """
 
-    #: Short backend name (``"dir"`` / ``"sqlite"``), used by the CLI.
+    #: Short backend name (``"dir"`` / ``"sqlite"`` / ``"http"``), used by the CLI.
     kind: str = "?"
 
     #: Human-readable queue location (a directory or a database path).
@@ -223,6 +228,17 @@ class Transport(abc.ABC):
     def clear_corrupt(self) -> int:
         """Drop the quarantine (a re-enqueue reissues the runs); returns the
         number cleared."""
+
+    def close(self) -> None:
+        """Release any backend resources (connections, file handles).
+
+        A no-op by default — the directory transport holds nothing open
+        between operations.  Backends with persistent state override it:
+        the SQLite transport closes its connection (letting SQLite remove
+        the WAL ``-wal``/``-shm`` sidecar files), the HTTP transport drops
+        its keep-alive session.  Idempotent; the transport may be used
+        again afterwards (backends reconnect lazily).
+        """
 
     def describe(self) -> str:
         """``kind:location``, for log lines and error messages."""

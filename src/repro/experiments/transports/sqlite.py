@@ -279,11 +279,16 @@ class SqliteTransport(Transport):
             # stale window — a live lease must never look abandoned because
             # of NTP.  (A forward step is already safe: the lease just looks
             # fresher.)
-            cursor = self._connect().execute(
-                "UPDATE tasks SET heartbeat_at = MAX(COALESCE(heartbeat_at, 0), ?) "
-                "WHERE idx = ? AND worker = ? AND status = 'running'",
-                (_now(), idx, worker),
-            )
+            try:
+                cursor = self._connect().execute(
+                    "UPDATE tasks SET heartbeat_at = MAX(COALESCE(heartbeat_at, 0), ?) "
+                    "WHERE idx = ? AND worker = ? AND status = 'running'",
+                    (_now(), idx, worker),
+                )
+            except sqlite3.Error as error:
+                raise QueueCorrupt(
+                    f"queue database {self.location!r} refused the heartbeat: {error}"
+                ) from None
             return cursor.rowcount == 1
 
     def release(self, claim: Claim) -> None:
@@ -291,11 +296,16 @@ class SqliteTransport(Transport):
         with self._lock:
             # rowcount 0 means the lease was reclaimed from under us while we
             # executed; harmless — collect dedups the re-execution.
-            self._connect().execute(
-                "UPDATE tasks SET status = 'done', heartbeat_at = NULL "
-                "WHERE idx = ? AND worker = ? AND status = 'running'",
-                (idx, worker),
-            )
+            try:
+                self._connect().execute(
+                    "UPDATE tasks SET status = 'done', heartbeat_at = NULL "
+                    "WHERE idx = ? AND worker = ? AND status = 'running'",
+                    (idx, worker),
+                )
+            except sqlite3.Error as error:
+                raise QueueCorrupt(
+                    f"queue database {self.location!r} refused the release: {error}"
+                ) from None
 
     def reclaim_stale(self, stale_after: float) -> int:
         with self._lock:

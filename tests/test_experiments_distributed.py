@@ -1,7 +1,8 @@
-"""The queue-backed distributed runner (PR 5) and its transports (PR 6).
+"""The queue-backed distributed runner (PR 5) and its transports (PR 6/10).
 
-The contract under test, for BOTH queue transports (the shared-directory
-queue and the single-file SQLite WAL database):
+The contract under test, for ALL THREE queue transports (the
+shared-directory queue, the single-file SQLite WAL database, and the HTTP
+coordinator serving a SQLite queue to workers that have only a URL):
 
 * a ``RunSpec`` round-trips exactly through its JSON task form — the
   descriptor *is* the unit of work a remote worker executes;
@@ -23,12 +24,19 @@ queue and the single-file SQLite WAL database):
   loudly, naming the divergent ``(index, seed)`` pairs.
 """
 
+import http.client
+import itertools
 import json
 import os
+import re
 import signal
+import sqlite3
 import subprocess
 import sys
+import threading
 import time
+import urllib.error
+import urllib.request
 
 import pytest
 
@@ -79,14 +87,20 @@ from repro.experiments.transports import (
     Claim,
     CorruptTask,
     DirectoryTransport,
+    HttpTransport,
     SqliteTransport,
+    make_server,
     resolve_transport,
+)
+from repro.experiments.transports.http import (
+    HTTP_PROTOCOL_VERSION,
+    MAX_REQUEST_BYTES,
 )
 
 SEED = 20010202
 SRC_DIR = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
 
-TRANSPORTS = ["dir", "sqlite"]
+TRANSPORTS = ["dir", "sqlite", "http"]
 
 
 def tiny_spec(name="queued", **kwargs):
@@ -103,11 +117,68 @@ def faulty_spec(name="queued-faulty", **kwargs):
     )
 
 
+# HTTP queues are a coordinator process in front of a SQLite database; in
+# tests the coordinator runs on a daemon thread in this process.  The
+# registries let `make_queue` hand back a plain URL (what workers see) while
+# the fault-injection helpers reach through to the backing database, and the
+# autouse fixture below guarantees every coordinator dies with its test.
+_LIVE_SERVERS = []
+_HTTP_BACKING = {}
+
+
+def start_http_queue(db_path, port=0):
+    """Serve ``db_path`` over HTTP on a daemon thread; return the queue URL."""
+    server = make_server(db_path, "127.0.0.1", port)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    host, bound_port = server.server_address[:2]
+    url = f"http://{host}:{bound_port}"
+    _LIVE_SERVERS.append(server)
+    _HTTP_BACKING[url] = db_path
+    return url
+
+
+def stop_http_server(server):
+    server.shutdown()
+    server.server_close()
+    if server in _LIVE_SERVERS:
+        _LIVE_SERVERS.remove(server)
+
+
+@pytest.fixture(autouse=True)
+def _reap_http_servers():
+    yield
+    while _LIVE_SERVERS:
+        stop_http_server(_LIVE_SERVERS[-1])
+    _HTTP_BACKING.clear()
+
+
+def backing_db(queue):
+    """The SQLite file behind ``queue`` — the queue itself unless it is a
+    coordinator URL started by :func:`start_http_queue`."""
+    return _HTTP_BACKING.get(queue, queue)
+
+
 def make_queue(tmp_path, kind, spec):
     """The queue location of ``spec`` for a transport kind under ``tmp_path``."""
     if kind == "dir":
         return queue_dir(str(tmp_path), spec.name)
-    return queue_db_path(str(tmp_path), spec.name)
+    db = queue_db_path(str(tmp_path), spec.name)
+    if kind == "http":
+        return start_http_queue(db)
+    return db
+
+
+def cli_queue_args(tmp_path, kind, name="queue-smoke"):
+    """(queue location, enqueue argv) for a CLI lifecycle test of ``kind``:
+    HTTP queues are addressed by coordinator URL (``--queue-url``), the
+    filesystem kinds by their ``QUEUE_<name>`` path under ``--out``."""
+    out = str(tmp_path)
+    if kind == "http":
+        url = start_http_queue(queue_db_path(out, name))
+        return url, ["enqueue", name, "--queue-url", url]
+    suffix = ".sqlite" if kind == "sqlite" else ""
+    queue = os.path.join(out, f"QUEUE_{name}{suffix}")
+    return queue, ["enqueue", name, "--out", out, "--transport", kind]
 
 
 def force_stale(queue, kind, age=900.0):
@@ -119,7 +190,7 @@ def force_stale(queue, kind, age=900.0):
         for name in os.listdir(leases):
             os.utime(os.path.join(leases, name), (stamp, stamp))
     else:
-        resolve_transport(queue)._connect().execute(
+        resolve_transport(backing_db(queue))._connect().execute(
             "UPDATE tasks SET heartbeat_at = heartbeat_at - ? WHERE status = 'running'",
             (age,),
         )
@@ -134,7 +205,7 @@ def plant_corrupt_task(queue, kind):
         with open(task, "w", encoding="utf-8") as handle:
             handle.write('{"sweep": "queued", "ind')  # torn mid-write
     else:
-        resolve_transport(queue)._connect().execute(
+        resolve_transport(backing_db(queue))._connect().execute(
             "UPDATE tasks SET run_json = '{\"torn' "
             "WHERE idx = (SELECT MIN(idx) FROM tasks WHERE status = 'pending')"
         )
@@ -207,6 +278,17 @@ class TestTransportResolution:
     def test_transport_instances_pass_through(self, tmp_path):
         transport = DirectoryTransport(str(tmp_path / "q"))
         assert resolve_transport(transport) is transport
+
+    def test_auto_detects_a_coordinator_url(self):
+        # construction is lazy: no coordinator needs to be listening just to
+        # resolve the kind from the URL scheme
+        assert isinstance(resolve_transport("http://127.0.0.1:1"), HttpTransport)
+        assert isinstance(resolve_transport("https://example.org/queue"), HttpTransport)
+        assert isinstance(resolve_transport("http://127.0.0.1:1", "http"), HttpTransport)
+
+    def test_http_kind_rejects_a_non_url(self, tmp_path):
+        with pytest.raises(ValueError, match="http"):
+            resolve_transport(str(tmp_path / "q.sqlite"), "http")
 
 
 class TestEnqueue:
@@ -705,7 +787,7 @@ class TestKillAWorker:
         if kind == "dir":
             leases = os.path.join(queue, "leases")
             return [name.split("@", 1)[1] for name in os.listdir(leases) if "@" in name]
-        rows = resolve_transport(queue)._connect().execute(
+        rows = resolve_transport(backing_db(queue))._connect().execute(
             "SELECT worker FROM tasks WHERE status = 'running'"
         ).fetchall()
         return [worker for (worker,) in rows]
@@ -808,9 +890,8 @@ class TestLedgerDivergence:
 class TestQueueCLI:
     def test_enqueue_work_collect_lifecycle(self, tmp_path, kind, capsys):
         out = str(tmp_path)
-        suffix = ".sqlite" if kind == "sqlite" else ""
-        queue = os.path.join(out, f"QUEUE_queue-smoke{suffix}")
-        assert cli_main(["enqueue", "queue-smoke", "--out", out, "--transport", kind]) == 0
+        queue, enqueue_argv = cli_queue_args(tmp_path, kind)
+        assert cli_main(enqueue_argv) == 0
         assert "enqueued 6 task(s)" in capsys.readouterr().out
         assert cli_main(["work", queue, "--worker-id", "w1", "--max-tasks", "3"]) == 0
         assert cli_main(["work", queue, "--worker-id", "w2"]) == 0
@@ -842,15 +923,17 @@ class TestQueueCLI:
         assert "spec.json" in capsys.readouterr().err
 
     def test_enqueue_with_overrides_round_trips(self, tmp_path, kind):
-        out = str(tmp_path)
-        args = ["enqueue", "queue-smoke", "--out", out, "--transport", kind,
-                "--repeats", "1", "--seed", "5"]
-        assert cli_main(args) == 0
-        suffix = ".sqlite" if kind == "sqlite" else ""
-        queue = os.path.join(out, f"QUEUE_queue-smoke{suffix}")
+        queue, enqueue_argv = cli_queue_args(tmp_path, kind)
+        assert cli_main(enqueue_argv + ["--repeats", "1", "--seed", "5"]) == 0
         spec = load_queue_spec(queue)
         assert spec.repeats == 1 and spec.seed == 5
         assert queue_status(queue)["tasks"] == 3
+
+    def test_enqueue_transport_http_requires_a_queue_url(self, tmp_path, capsys):
+        assert cli_main(
+            ["enqueue", "queue-smoke", "--out", str(tmp_path), "--transport", "http"]
+        ) == 1
+        assert "--queue-url" in capsys.readouterr().err
 
 
 class TestStatusObservability:
@@ -859,7 +942,7 @@ class TestStatusObservability:
     the traced-drain byte-identity acceptance check."""
 
     def test_status_parity_across_all_task_states(self, tmp_path):
-        # both transports must report identical counts at every lifecycle
+        # every transport must report identical counts at every lifecycle
         # stage: pending, quarantined, running, and done-with-shard
         spec = tiny_spec()
         histories = {}
@@ -883,7 +966,7 @@ class TestStatusObservability:
             transport.release(claim)
             history.append(transport.status())                # done + shard
             histories[kind] = history
-        assert histories["dir"] == histories["sqlite"]
+        assert histories["dir"] == histories["sqlite"] == histories["http"]
         assert histories["dir"] == [
             {"tasks": 4, "leases": 0, "shards": 0, "corrupt": 0},
             {"tasks": 3, "leases": 0, "shards": 0, "corrupt": 1},
@@ -999,13 +1082,21 @@ class TestStatusCLI:
         assert cli_main(["status", str(tmp_path / "nope")]) == 1
         assert capsys.readouterr().err
 
+    def test_status_cli_rejects_nonpositive_stale_after_at_parse_time(self, tmp_path, capsys):
+        # the staleness annotation uses the same lease-timing validation as
+        # `work`: zero/negative thresholds are argparse errors, not silent
+        # every-lease-is-stale reports
+        for value in ("0", "-3"):
+            with pytest.raises(SystemExit):
+                cli_main(["status", str(tmp_path), "--stale-after", value])
+            assert "positive" in capsys.readouterr().err
+
     def test_traced_work_cli_matches_untraced_collect(self, tmp_path, kind, capsys):
         # end-to-end through the CLI: --trace on work never perturbs collect
         out = str(tmp_path)
-        suffix = ".sqlite" if kind == "sqlite" else ""
-        queue = os.path.join(out, f"QUEUE_queue-smoke{suffix}")
+        queue, enqueue_argv = cli_queue_args(tmp_path, kind)
         trace = os.path.join(out, "trace.jsonl")
-        assert cli_main(["enqueue", "queue-smoke", "--out", out, "--transport", kind]) == 0
+        assert cli_main(enqueue_argv) == 0
         assert cli_main(["work", queue, "--worker-id", "w1", "--trace", trace]) == 0
         assert cli_main(["collect", queue, "--out", out]) == 0
         capsys.readouterr()
@@ -1016,3 +1107,376 @@ class TestStatusCLI:
         assert rows_bytes(collected) == rows_bytes(baseline)
         assert cli_main(["trace", "summarise", trace]) == 0
         assert "worker" in capsys.readouterr().out
+
+
+class TestMergeStatusRanking:
+    """The cross-shard merge ranks ``ok > no_convergence > error`` — a
+    reclaimed-after-append duplicate can never demote a success to a
+    diagnostic row, whatever order the shards enumerate in."""
+
+    _RANK = {"error": 0, "no_convergence": 1, "ok": 2}
+
+    @staticmethod
+    def _record(status):
+        return RunRecord(
+            sweep="merge", index=0, family="dihedral_rotation", params={"n": 8},
+            repeat=0, seed=1, strategy="auto", success=status == "ok",
+            generators=[], query_report={}, status=status,
+            error="boom" if status == "error" else None,
+        )
+
+    @pytest.mark.parametrize(
+        "first,second",
+        list(itertools.permutations(["ok", "no_convergence", "error"], 2)),
+    )
+    def test_higher_rank_wins_in_either_arrival_order(self, first, second):
+        merged = merge_record_streams([
+            {(0, 1): self._record(first)},
+            {(0, 1): self._record(second)},
+        ])
+        winner = max(first, second, key=self._RANK.get)
+        assert merged[(0, 1)].status == winner
+
+    def test_equal_rank_keeps_the_first_shard_record(self):
+        for status in ("ok", "no_convergence", "error"):
+            first, duplicate = self._record(status), self._record(status)
+            merged = merge_record_streams([{(0, 1): first}, {(0, 1): duplicate}])
+            assert merged[(0, 1)] is first
+
+    def test_unknown_statuses_rank_with_error_at_the_bottom(self):
+        import dataclasses
+
+        exotic = dataclasses.replace(self._record("error"), status="future-status")
+        for other in ("ok", "no_convergence"):
+            merged = merge_record_streams([{(0, 1): exotic}, {(0, 1): self._record(other)}])
+            assert merged[(0, 1)].status == other
+        # against error it is a rank tie, and ties keep the first arrival
+        merged = merge_record_streams([{(0, 1): exotic}, {(0, 1): self._record("error")}])
+        assert merged[(0, 1)] is exotic
+
+
+class TestSqliteErrorTranslation:
+    """heartbeat/release translate backend failures into QueueCorrupt like
+    every other operation — a worker's beat loop sees the transport's
+    exception vocabulary, never a raw sqlite3.Error."""
+
+    class _FailingConnection:
+        def execute(self, *args, **kwargs):
+            raise sqlite3.OperationalError("disk I/O error")
+
+        def close(self):
+            pass
+
+    def _claimed_transport(self, tmp_path):
+        spec = tiny_spec()
+        queue = queue_db_path(str(tmp_path), spec.name)
+        enqueue_sweep(spec, queue, kind="sqlite")
+        transport = SqliteTransport(queue)
+        claim = transport.claim_next("w0")
+        assert isinstance(claim, Claim)
+        transport.close()
+        transport._con = self._FailingConnection()
+        return transport, claim
+
+    def test_heartbeat_translates_sqlite_errors(self, tmp_path):
+        transport, claim = self._claimed_transport(tmp_path)
+        with pytest.raises(QueueCorrupt, match="refused the heartbeat"):
+            transport.heartbeat(claim)
+
+    def test_release_translates_sqlite_errors(self, tmp_path):
+        transport, claim = self._claimed_transport(tmp_path)
+        with pytest.raises(QueueCorrupt, match="refused the release"):
+            transport.release(claim)
+
+
+class TestTransportClose:
+    """Transport.close() plumbing: helpers close what they open, so a
+    drained SQLite queue leaves no WAL sidecar files behind, and transports
+    owned by the caller are never closed out from under them."""
+
+    @staticmethod
+    def _sidecars(tmp_path):
+        return sorted(
+            name for name in os.listdir(str(tmp_path))
+            if name.endswith(("-wal", "-shm"))
+        )
+
+    def test_drained_cycle_leaves_no_wal_sidecars(self, tmp_path):
+        spec = tiny_spec()
+        queue = queue_db_path(str(tmp_path), spec.name)
+        enqueue_sweep(spec, queue, kind="sqlite")
+        work_queue(queue, worker_id="w0")
+        collect_queue(queue, str(tmp_path))
+        queue_status(queue)
+        lease_report(queue)
+        queue_progress(queue)
+        assert self._sidecars(tmp_path) == []
+        assert os.path.exists(queue)
+
+    def test_status_cli_leaves_no_wal_sidecars(self, tmp_path, capsys):
+        spec = tiny_spec()
+        queue = queue_db_path(str(tmp_path), spec.name)
+        enqueue_sweep(spec, queue, kind="sqlite")
+        assert cli_main(["status", queue]) == 0
+        capsys.readouterr()
+        assert self._sidecars(tmp_path) == []
+
+    def test_caller_owned_transports_stay_open(self, tmp_path):
+        spec = tiny_spec()
+        transport = SqliteTransport(queue_db_path(str(tmp_path), spec.name))
+        enqueue_sweep(spec, transport)
+        assert transport._con is not None, "helpers must not close a caller's transport"
+        assert queue_status(transport)["tasks"] == 4
+        assert transport._con is not None
+        transport.close()
+        assert transport._con is None
+        transport.close()  # idempotent
+
+    def test_directory_close_is_a_noop(self, tmp_path):
+        transport = DirectoryTransport(str(tmp_path / "q"))
+        transport.close()
+
+
+class TestHttpSpecifics:
+    """The HTTP coordinator: restart resilience, request hygiene, and the
+    version-checked handshake."""
+
+    def _start(self, db, port=0):
+        server = make_server(db, "127.0.0.1", port)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        _LIVE_SERVERS.append(server)
+        return server
+
+    @staticmethod
+    def _url(server):
+        host, port = server.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def test_make_server_refuses_urls_and_directory_queues(self, tmp_path):
+        with pytest.raises(ValueError, match="not a URL"):
+            make_server("http://127.0.0.1:8765")
+        with pytest.raises(ValueError, match="directory queue"):
+            make_server(str(tmp_path))
+
+    def test_client_retries_through_a_coordinator_restart(self, tmp_path):
+        spec = tiny_spec()
+        db = queue_db_path(str(tmp_path), spec.name)
+        server = self._start(db)
+        port = server.server_address[1]
+        url = self._url(server)
+        enqueue_sweep(spec, url, kind="http")
+        transport = HttpTransport(url, backoff=0.05)
+        assert transport.status()["tasks"] == 4
+        stop_http_server(server)
+
+        def relaunch():
+            time.sleep(0.4)
+            self._start(db, port=port)
+
+        threading.Thread(target=relaunch, daemon=True).start()
+        # issued while the coordinator is down: the client must stall in its
+        # backoff loop, reconnect to the relaunched process, and succeed
+        assert transport.status()["tasks"] == 4
+        transport.close()
+
+    def test_exhausted_retries_surface_as_queue_corrupt(self, tmp_path):
+        spec = tiny_spec()
+        db = queue_db_path(str(tmp_path), spec.name)
+        server = self._start(db)
+        url = self._url(server)
+        enqueue_sweep(spec, url, kind="http")
+        transport = HttpTransport(url, retries=2, backoff=0.01)
+        assert transport.status()["tasks"] == 4
+        stop_http_server(server)
+        with pytest.raises(QueueCorrupt, match="unreachable after 3 attempt"):
+            transport.status()
+
+    def test_coordinator_restart_mid_sweep_loses_nothing(self, tmp_path):
+        # the acceptance drill: a worker mid-drain survives its coordinator
+        # being killed and relaunched on the same port, and the collected
+        # rows stay byte-identical to a single-process run
+        spec = SweepSpec.from_grid(
+            "restart-drill",
+            "diagnostic_fault",
+            {"n": [8], "delay": [0.3]},
+            repeats=4,
+            seed=SEED,
+        )
+        db = queue_db_path(str(tmp_path), spec.name)
+        server = self._start(db)
+        port = server.server_address[1]
+        url = self._url(server)
+        enqueue_sweep(spec, url, kind="http")
+        outcome = {}
+
+        def drain():
+            outcome["stats"] = work_queue(
+                url, worker_id="w0", stale_after=60.0, poll=0.1
+            )
+
+        worker = threading.Thread(target=drain)
+        worker.start()
+        time.sleep(0.45)  # inside a task's 0.3 s execution window
+        stop_http_server(server)
+        time.sleep(0.2)
+        self._start(db, port=port)
+        worker.join(timeout=120)
+        assert not worker.is_alive(), "worker never finished after the restart"
+        assert outcome["stats"]["executed"] == 4
+        assert outcome["stats"]["errors"] == 0
+        _, payload = collect_queue(url, str(tmp_path))
+        _, baseline = run_sweep(spec, workers=1, out_dir=None)
+        assert rows_bytes(payload) == rows_bytes(baseline)
+
+    def test_malformed_requests_are_rejected_and_the_server_survives(self, tmp_path):
+        spec = tiny_spec()
+        url = start_http_queue(queue_db_path(str(tmp_path), spec.name))
+        enqueue_sweep(spec, url, kind="http")
+
+        def post(path, body, headers=None):
+            request = urllib.request.Request(
+                f"{url}{path}", data=body, method="POST", headers=headers or {}
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request)
+            return excinfo.value.code, json.loads(excinfo.value.read())
+
+        code, payload = post("/api/status", b"{not json")
+        assert code == 400 and "malformed request body" in payload["error"]["message"]
+        code, payload = post("/api/no-such-op", b"{}")
+        assert code == 404
+        code, payload = post("/api/heartbeat", b"{}")  # structurally wrong payload
+        assert code == 400 and "malformed request payload" in payload["error"]["message"]
+        code, payload = post("/elsewhere", b"{}")
+        assert code == 404
+        code, payload = post("/api/status", b"{}", {"X-Queue-Protocol": "999"})
+        assert code == 400 and "protocol" in payload["error"]["message"]
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(f"{url}/api/status")  # GET
+        assert excinfo.value.code == 405
+        # after all of that abuse the coordinator still serves real clients
+        assert queue_status(url)["tasks"] == 4
+
+    def test_oversized_request_is_rejected_unread(self, tmp_path):
+        spec = tiny_spec()
+        url = start_http_queue(queue_db_path(str(tmp_path), spec.name))
+        enqueue_sweep(spec, url, kind="http")
+        host, _, port = url[len("http://"):].partition(":")
+        connection = http.client.HTTPConnection(host, int(port), timeout=30)
+        try:
+            # declare a body over the cap but never send it: the refusal must
+            # arrive without the server waiting to drain the payload
+            connection.putrequest("POST", "/api/status")
+            connection.putheader("Content-Length", str(MAX_REQUEST_BYTES + 1))
+            connection.endheaders()
+            response = connection.getresponse()
+            assert response.status == 413
+            assert "cap" in json.loads(response.read())["error"]["message"]
+        finally:
+            connection.close()
+        assert queue_status(url)["tasks"] == 4
+
+    def test_protocol_version_mismatch_refuses_the_handshake(self, tmp_path, monkeypatch):
+        import repro.experiments.transports.http as http_mod
+
+        spec = tiny_spec()
+        url = start_http_queue(queue_db_path(str(tmp_path), spec.name))
+        enqueue_sweep(spec, url, kind="http")
+        monkeypatch.setitem(
+            http_mod._OPERATIONS,
+            "handshake",
+            lambda transport, payload: {
+                "protocol": HTTP_PROTOCOL_VERSION + 1,
+                "queue_version": 1,
+                "backend": transport.kind,
+            },
+        )
+        client = HttpTransport(url)
+        with pytest.raises(QueueCorrupt, match="wire protocol"):
+            client.status()
+
+    def test_queue_layout_version_mismatch_refuses_the_handshake(self, tmp_path, monkeypatch):
+        import repro.experiments.transports.http as http_mod
+
+        spec = tiny_spec()
+        url = start_http_queue(queue_db_path(str(tmp_path), spec.name))
+        enqueue_sweep(spec, url, kind="http")
+        monkeypatch.setitem(
+            http_mod._OPERATIONS,
+            "handshake",
+            lambda transport, payload: {
+                "protocol": HTTP_PROTOCOL_VERSION,
+                "queue_version": 999,
+                "backend": transport.kind,
+            },
+        )
+        client = HttpTransport(url)
+        with pytest.raises(QueueCorrupt, match="layout version"):
+            client.status()
+
+    def test_handshake_happens_once_per_session(self, tmp_path):
+        spec = tiny_spec()
+        url = start_http_queue(queue_db_path(str(tmp_path), spec.name))
+        enqueue_sweep(spec, url, kind="http")
+        client = HttpTransport(url)
+        calls = []
+        original = client._rpc
+
+        def counting_rpc(operation, payload=None):
+            calls.append(operation)
+            return original(operation, payload)
+
+        client._rpc = counting_rpc
+        client.status()
+        client.status()
+        client.close()
+        assert calls.count("handshake") == 1
+        assert calls.count("status") == 2
+
+
+class TestServeCLI:
+    def test_serve_refuses_urls_and_directories(self, tmp_path, capsys):
+        assert cli_main(["serve", "http://127.0.0.1:1"]) == 1
+        assert "not a URL" in capsys.readouterr().err
+        assert cli_main(["serve", str(tmp_path)]) == 1
+        assert "directory queue" in capsys.readouterr().err
+
+    def test_serve_lifecycle_end_to_end(self, tmp_path):
+        # the full deployment shape: a `serve` subprocess fronts the queue,
+        # CLI enqueue/work/collect speak only its URL, and the collected
+        # BENCH is byte-identical to a single-process run
+        db = queue_db_path(str(tmp_path), "queue-smoke")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+        coordinator = subprocess.Popen(
+            [sys.executable, "-m", "repro.experiments", "serve", db, "--port", "0"],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            banner = coordinator.stdout.readline()
+            match = re.search(r"http://[0-9.]+:[0-9]+", banner)
+            assert match, f"no coordinator URL in banner: {banner!r}"
+            url = match.group(0)
+            assert "no auth" in banner
+            assert cli_main(["enqueue", "queue-smoke", "--queue-url", url]) == 0
+            assert cli_main(["work", url, "--worker-id", "w1", "--max-tasks", "3"]) == 0
+            assert cli_main(["work", url, "--worker-id", "w2"]) == 0
+            assert cli_main(["collect", url, "--out", str(tmp_path)]) == 0
+        finally:
+            coordinator.terminate()
+            coordinator.wait(timeout=30)
+        from repro.experiments.workloads import get_workload
+
+        _, baseline = run_sweep(get_workload("queue-smoke"), workers=1, out_dir=None)
+        collected = load_bench(os.path.join(str(tmp_path), "BENCH_queue-smoke.json"))
+        assert rows_bytes(collected) == rows_bytes(baseline)
+        # SIGTERM is a *clean* shutdown: the coordinator closed its SQLite
+        # connection, so the WAL sidecars merged back into the database
+        sidecars = [
+            name for name in os.listdir(str(tmp_path))
+            if name.endswith(("-wal", "-shm"))
+        ]
+        assert sidecars == [], f"coordinator left WAL sidecars: {sidecars}"
